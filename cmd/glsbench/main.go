@@ -1,0 +1,141 @@
+// Command glsbench regenerates the evaluation figures of "Locking Made
+// Easy" (Middleware'16). Each -fig N prints the rows/series of the paper's
+// figure N, measured on this machine with this repository's GLS/GLK
+// implementation.
+//
+// Usage:
+//
+//	glsbench -fig 8                 # one figure
+//	glsbench -fig 1 -fig 8 -fig 13  # several
+//	glsbench -all                   # everything
+//	glsbench -all -quick            # short runs (CI smoke)
+//
+// Absolute numbers differ from the paper (different machine, Go runtime,
+// modelled systems); the shapes — which lock wins where, and where the
+// crossovers fall — are the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gls/internal/cycles"
+)
+
+// figSet collects repeated -fig flags.
+type figSet map[int]bool
+
+func (f figSet) String() string {
+	var parts []string
+	for k := range f {
+		parts = append(parts, strconv.Itoa(k))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f figSet) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	if _, ok := figures[n]; !ok {
+		return fmt.Errorf("no figure %d (known: %s)", n, knownFigures())
+	}
+	f[n] = true
+	return nil
+}
+
+// opts are the run-scale knobs shared by all figures.
+type opts struct {
+	duration   time.Duration // per measurement point
+	reps       int           // repetitions (median taken)
+	maxThreads int           // sweep ceiling
+	quick      bool
+}
+
+// figure is one reproducible experiment.
+type figure struct {
+	title string
+	run   func(o opts)
+}
+
+var figures = map[int]figure{
+	1:  {"Different lock strategies under varying contention", fig1},
+	5:  {"Performance crosspoint: threads for MCS to beat TICKET vs CS size", fig5},
+	6:  {"GLK overhead vs adaptation and sampling periods", fig6},
+	7:  {"Relative throughput of GLK vs best per-configuration lock", fig7},
+	8:  {"A single lock on varying contention (CS=1024 cycles)", fig8},
+	9:  {"Eight locks on varying contention (zipf 0.9, CS=1024)", fig9},
+	10: {"One lock under varying contention levels over time (14 phases)", fig10},
+	11: {"Latency overhead of GLS over directly using locks (1 thread)", fig11},
+	12: {"Relative throughput of GLS over directly using locks (10 threads)", fig12},
+	13: {"Memcached: MUTEX vs GLK vs GLS vs GLS SPECIALIZED", fig13},
+	14: {"Five systems x {MUTEX,TICKET,MCS,GLK}, normalized to MUTEX", fig14},
+	15: {"Same as figure 14 (second platform in the paper)", fig15},
+}
+
+func knownFigures() string {
+	keys := make([]int, 0, len(figures))
+	for k := range figures {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = strconv.Itoa(k)
+	}
+	return strings.Join(parts, ",")
+}
+
+func main() {
+	figs := figSet{}
+	flag.Var(figs, "fig", "figure number to regenerate (repeatable)")
+	all := flag.Bool("all", false, "run every figure")
+	quick := flag.Bool("quick", false, "short runs for smoke testing")
+	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per point")
+	reps := flag.Int("reps", 3, "repetitions per point (median reported; paper uses 11)")
+	maxThreads := flag.Int("maxthreads", 0, "thread-sweep ceiling (default ~2.5x GOMAXPROCS)")
+	flag.Parse()
+
+	o := opts{duration: *duration, reps: *reps, maxThreads: *maxThreads, quick: *quick}
+	if o.quick {
+		o.duration = 40 * time.Millisecond
+		o.reps = 1
+	}
+	if o.maxThreads <= 0 {
+		o.maxThreads = runtime.GOMAXPROCS(0)*2 + 8
+	}
+
+	if *all {
+		for k := range figures {
+			figs[k] = true
+		}
+	}
+	if len(figs) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all  (figures: %s)\n", knownFigures())
+		os.Exit(2)
+	}
+
+	cycles.Calibrate()
+	fmt.Printf("# glsbench: GOMAXPROCS=%d, nominal frequency %.1f GHz, %v/point, %d rep(s)\n\n",
+		runtime.GOMAXPROCS(0), cycles.FrequencyGHz(), o.duration, o.reps)
+
+	keys := make([]int, 0, len(figs))
+	for k := range figs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		f := figures[k]
+		fmt.Printf("== Figure %d: %s ==\n", k, f.title)
+		f.run(o)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// quickOpts are the smallest possible run parameters: this test exists so
+// the figure-regeneration paths cannot rot, not to produce numbers.
+func quickOpts() opts {
+	return opts{
+		duration:   10 * time.Millisecond,
+		reps:       1,
+		maxThreads: 3,
+		quick:      true,
+	}
+}
+
+// TestEveryFigureRuns executes every registered figure once with tiny
+// parameters.
+func TestEveryFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test is slow")
+	}
+	o := quickOpts()
+	for id, f := range figures {
+		// Figures 14/15 run the five-system suites: the most expensive.
+		// They share runSystemsFigure, so one of them suffices here.
+		if id == 15 {
+			continue
+		}
+		id, f := id, f
+		t.Run(f.title, func(t *testing.T) {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				f.run(o)
+			}()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Minute):
+				t.Fatalf("figure %d wedged", id)
+			}
+		})
+	}
+}
+
+func TestFigSetFlag(t *testing.T) {
+	fs := figSet{}
+	if err := fs.Set("8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Set("nonsense"); err == nil {
+		t.Fatal("accepted non-numeric figure")
+	}
+	if err := fs.Set("2"); err == nil {
+		t.Fatal("accepted unknown figure 2")
+	}
+	if !fs[8] {
+		t.Fatal("figure 8 not recorded")
+	}
+	if fs.String() != "8" {
+		t.Fatalf("String = %q", fs.String())
+	}
+}
+
+func TestKnownFiguresListsAll(t *testing.T) {
+	s := knownFigures()
+	for _, want := range []string{"1", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15"} {
+		found := false
+		for _, part := range splitComma(s) {
+			if part == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("knownFigures() = %q missing %s", s, want)
+		}
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Command lockstress plants lock-usage bugs and shows GLS debug mode
+// catching them — the analogue of the paper's stress_error_gls benchmark
+// (§4.2). Each -bug runs one scenario; -bug all runs every scenario.
+//
+//	lockstress -bug deadlock
+//	lockstress -bug all
+//
+// Exit status is 0 when every requested bug was detected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/sysmon"
+)
+
+// scenario is one plantable bug.
+type scenario struct {
+	kind gls.IssueKind
+	run  func(s *gls.Service)
+}
+
+var scenarios = map[string]scenario{
+	"uninitialized": {gls.IssueUninitializedLock, func(s *gls.Service) {
+		s.Lock(0x6344e0) // never InitLock'ed; StrictInit flags it
+		s.Unlock(0x6344e0)
+	}},
+	"double-lock": {gls.IssueDoubleLock, func(s *gls.Service) {
+		s.InitLock(0x100)
+		s.Lock(0x100)
+		s.TryLock(0x100) // owner re-acquiring
+		s.Unlock(0x100)
+	}},
+	"unlock-free": {gls.IssueUnlockFree, func(s *gls.Service) {
+		s.InitLock(0x62a494)
+		s.Unlock(0x62a494) // released before ever acquired
+	}},
+	"wrong-owner": {gls.IssueUnlockWrongOwner, func(s *gls.Service) {
+		s.InitLock(0x200)
+		s.Lock(0x200)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Unlock(0x200) // thief
+		}()
+		wg.Wait()
+		s.Unlock(0x200)
+	}},
+	"deadlock": {gls.IssueDeadlock, func(s *gls.Service) {
+		const a, b = 0x1ad0010, 0x1acfff4
+		s.InitLock(a)
+		s.InitLock(b)
+		aHeld, bHeld := make(chan struct{}), make(chan struct{})
+		go func() {
+			s.Lock(a)
+			close(aHeld)
+			<-bHeld
+			s.Lock(b) // blocks forever
+		}()
+		go func() {
+			s.Lock(b)
+			close(bHeld)
+			<-aHeld
+			s.Lock(a) // blocks forever
+		}()
+		<-aHeld
+		<-bHeld
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if s.CheckDeadlocks() > 0 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}},
+}
+
+func main() {
+	bug := flag.String("bug", "all", "scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, all")
+	flag.Parse()
+
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock"}
+	if *bug != "all" {
+		if _, ok := scenarios[*bug]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)
+			os.Exit(2)
+		}
+		names = []string{*bug}
+	}
+
+	failures := 0
+	for _, name := range names {
+		sc := scenarios[name]
+		detected := make(chan gls.Issue, 16)
+		svc := gls.New(gls.Options{
+			Debug:                 true,
+			StrictInit:            true,
+			DeadlockWaitThreshold: 50 * time.Millisecond,
+			DeadlockCheckInterval: 50 * time.Millisecond,
+			GLK:                   &glk.Config{Monitor: sysmon.New(sysmon.Options{DisableProbes: true})},
+			OnIssue: func(i gls.Issue) {
+				fmt.Print(i.String())
+				select {
+				case detected <- i:
+				default:
+				}
+			},
+		})
+		fmt.Printf("--- scenario %q ---\n", name)
+		sc.run(svc)
+
+		ok := false
+		deadline := time.After(5 * time.Second)
+	wait:
+		for {
+			select {
+			case i := <-detected:
+				if i.Kind == sc.kind {
+					ok = true
+					break wait
+				}
+			case <-deadline:
+				break wait
+			default:
+				select {
+				case i := <-detected:
+					if i.Kind == sc.kind {
+						ok = true
+						break wait
+					}
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+		}
+		if ok {
+			fmt.Printf("=> detected: %v\n\n", sc.kind)
+		} else {
+			fmt.Printf("=> MISSED: %v\n\n", sc.kind)
+			failures++
+		}
+		svc.Close()
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

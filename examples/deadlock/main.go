@@ -1,0 +1,76 @@
+// Deadlock detection with GLS debug mode (paper §4.2).
+//
+// Two tellers transfer money between the same pair of accounts in opposite
+// directions, each locking its source account first — the classic
+// lock-ordering bug. GLS's background detector walks the wait-for graph,
+// prints the cycle and the blocked call sites, and this program exits
+// cleanly instead of hanging silently.
+//
+//	go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gls"
+)
+
+type account struct {
+	name    string
+	balance int
+}
+
+// transfer moves money, taking the source lock then the destination lock —
+// which deadlocks when two transfers run in opposite directions.
+func transfer(s *gls.Service, from, to *account, amount int, entered chan<- struct{}, proceed <-chan struct{}) {
+	s.Lock(gls.KeyOf(from))
+	entered <- struct{}{}
+	<-proceed // both transfers hold their source before taking the destination
+	s.Lock(gls.KeyOf(to))
+
+	from.balance -= amount
+	to.balance += amount
+
+	s.Unlock(gls.KeyOf(to))
+	s.Unlock(gls.KeyOf(from))
+}
+
+func main() {
+	found := make(chan gls.Issue, 1)
+	svc := gls.New(gls.Options{
+		Debug:                 true,
+		DeadlockWaitThreshold: 100 * time.Millisecond,
+		DeadlockCheckInterval: 100 * time.Millisecond,
+		OnIssue: func(i gls.Issue) {
+			fmt.Print(i.String())
+			if i.Kind == gls.IssueDeadlock {
+				select {
+				case found <- i:
+				default:
+				}
+			}
+		},
+	})
+	defer svc.Close()
+
+	alice := &account{name: "alice", balance: 100}
+	bob := &account{name: "bob", balance: 100}
+
+	entered := make(chan struct{}, 2)
+	proceed := make(chan struct{})
+	go transfer(svc, alice, bob, 10, entered, proceed)
+	go transfer(svc, bob, alice, 25, entered, proceed)
+	<-entered
+	<-entered
+	close(proceed) // release both into the deadlock
+
+	fmt.Println("transfers started; waiting for the GLS watchdog...")
+	select {
+	case i := <-found:
+		fmt.Printf("\ndeadlock confirmed: %d goroutines in the cycle\n", len(i.Cycle)-1)
+		fmt.Println("fix: impose a global lock order (e.g. lock the lower KeyOf first)")
+	case <-time.After(30 * time.Second):
+		fmt.Println("no deadlock detected (unexpected)")
+	}
+}

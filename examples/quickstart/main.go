@@ -1,0 +1,56 @@
+// Quickstart: lock-based programming with GLS.
+//
+// There is nothing to declare, allocate, initialize, or destroy, and no
+// lock algorithm to choose: any non-zero key is a lock, and GLS maps it to
+// an adaptive GLK lock behind the scenes. Even gls_lock(17) is valid —
+// that's the paper's own example.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"gls"
+)
+
+// account is ordinary shared data, with no lock declared anywhere.
+type account struct {
+	balance int
+}
+
+func main() {
+	// 1. The paper's hello world: any value is a lock.
+	gls.Lock(17)
+	fmt.Println("holding lock 17")
+	gls.Unlock(17)
+
+	// 2. Protecting a struct: use its address as the key.
+	acct := &account{}
+	key := gls.KeyOf(acct)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				gls.Lock(key)
+				acct.balance++
+				gls.Unlock(key)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("balance = %d (want 80000)\n", acct.balance)
+
+	// 3. The lock adapted on its own; ask GLS what it did.
+	if st, ok := gls.Default().GLKStats(key); ok {
+		fmt.Printf("lock ran in %v mode after %d acquisitions (avg queue %.2f)\n",
+			st.Mode, st.Acquired, st.QueueEMA)
+	}
+
+	// 4. Done with the object? Drop the mapping.
+	gls.Free(key)
+}

@@ -1,0 +1,443 @@
+// Package glk implements GLK, the generic lock of "Locking Made Easy"
+// (Middleware'16, §3) — a lock that dynamically adapts, per lock object, to
+// the contention it observes:
+//
+//   - low contention → ticket mode (a fast, fair spinlock);
+//   - high contention → mcs mode (a scalable queue lock);
+//   - multiprogramming → mutex mode (a blocking lock that releases the
+//     processor to the scheduler).
+//
+// The lock collects contention statistics as it is used: every SamplePeriod
+// critical sections it samples the queue length behind the lock, and every
+// AdaptPeriod critical sections the current holder re-decides the mode from
+// an exponential moving average of those samples. Multiprogramming is
+// reported by a process-wide background monitor (package sysmon), exactly as
+// in the paper. Different locks in one process can therefore run in
+// different modes at the same time (cf. MySQL in the paper's §5.2).
+package glk
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gls/internal/emastats"
+	"gls/internal/sysmon"
+	"gls/locks"
+)
+
+// Mode identifies which low-level algorithm a GLK lock is operating as.
+type Mode uint32
+
+// The three GLK modes (paper Figure 2).
+const (
+	ModeTicket Mode = iota + 1
+	ModeMCS
+	ModeMutex
+)
+
+// String returns the paper's lower-case mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeTicket:
+		return "ticket"
+	case ModeMCS:
+		return "mcs"
+	case ModeMutex:
+		return "mutex"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint32(m))
+	}
+}
+
+// Defaults from the paper's sensitivity analysis (§3.1).
+const (
+	// DefaultSamplePeriod is how often (in completed critical sections) the
+	// queue length is sampled: "we set ... the sampling period to 128
+	// critical sections".
+	DefaultSamplePeriod = 128
+
+	// DefaultAdaptPeriod is how often adaptation is attempted: "we set the
+	// adaptation period to 4096 critical sections". With the default sample
+	// period this yields 4096/128 = 32 queue samples per decision.
+	DefaultAdaptPeriod = 4096
+
+	// DefaultUpThreshold is the average queuing above which ticket switches
+	// to mcs: "TICKET is consistently faster than MCS when up to three
+	// concurrent threads are accessing the lock".
+	DefaultUpThreshold = 3.0
+
+	// DefaultDownThreshold is the average queuing below which mcs switches
+	// back to ticket; lower than UpThreshold "to avoid frequent, unnecessary
+	// transitions".
+	DefaultDownThreshold = 2.0
+
+	// DefaultMutexQueueFloor is the average queuing below which a lock
+	// ignores the multiprogramming flag: "locks that face close-to-zero
+	// contention ... do not switch to mutex, but remain in ticket mode".
+	// Queue length includes the holder, so 1.5 means "waiters are rare".
+	DefaultMutexQueueFloor = 1.5
+
+	// DefaultEMAWeight is the smoothing factor for the queue-length moving
+	// average that "hide[s] possible short-term workload fluctuations".
+	DefaultEMAWeight = 0.25
+)
+
+// Config tunes a GLK lock. The zero value of every field selects the
+// default above. Configs are copied at lock construction; later mutation has
+// no effect.
+type Config struct {
+	// SamplePeriod is the queue-sampling period in critical sections.
+	SamplePeriod uint64
+	// AdaptPeriod is the adaptation period in critical sections. It should
+	// be a multiple of SamplePeriod.
+	AdaptPeriod uint64
+	// UpThreshold and DownThreshold bound the ticket↔mcs hysteresis band.
+	UpThreshold   float64
+	DownThreshold float64
+	// MutexQueueFloor exempts near-uncontended locks from mutex mode.
+	MutexQueueFloor float64
+	// EMAWeight is the moving-average smoothing factor in (0, 1].
+	EMAWeight float64
+	// Monitor supplies the multiprogramming flag. nil selects the shared
+	// process-wide monitor, which is started on first use.
+	Monitor *sysmon.Monitor
+	// DisableAdaptation freezes the lock in its initial mode. The paper's
+	// overhead experiments (Figure 6/7) compare against this configuration.
+	DisableAdaptation bool
+	// InitialMode is the mode a fresh lock starts in (default ModeTicket).
+	// The paper's Figure 6 baseline "fix[es] the non-adaptive GLK to ticket
+	// mode [or] to mcs mode".
+	InitialMode Mode
+	// SampleLowLevelQueues selects the paper's original queue measurement:
+	// ticket−owner distance in ticket mode, a queue traversal in mcs mode,
+	// and the waiter count in mutex mode. The default (false) measures a
+	// mode-uniform presence count instead, which is robust to preempted
+	// waiters that have not enqueued yet (see DESIGN.md §4); this flag
+	// exists for the ablation benchmarks and for paper-faithful runs on
+	// machines with plenty of hardware contexts.
+	SampleLowLevelQueues bool
+	// OnTransition, if non-nil, is invoked (by the lock holder) after every
+	// mode change with the old mode, new mode, and the triggering reason.
+	// The paper's §4.3: "GLK can be configured to print the mode transitions
+	// that it performs, as well as the reason behind each transition."
+	OnTransition func(from, to Mode, reason string)
+}
+
+// withDefaults returns a copy of c with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = DefaultSamplePeriod
+	}
+	if c.AdaptPeriod == 0 {
+		c.AdaptPeriod = DefaultAdaptPeriod
+	}
+	if c.UpThreshold == 0 {
+		c.UpThreshold = DefaultUpThreshold
+	}
+	if c.DownThreshold == 0 {
+		c.DownThreshold = DefaultDownThreshold
+	}
+	if c.MutexQueueFloor == 0 {
+		c.MutexQueueFloor = DefaultMutexQueueFloor
+	}
+	if c.EMAWeight == 0 {
+		c.EMAWeight = DefaultEMAWeight
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if d.DownThreshold > d.UpThreshold {
+		return fmt.Errorf("glk: DownThreshold %.2f > UpThreshold %.2f", d.DownThreshold, d.UpThreshold)
+	}
+	if d.EMAWeight <= 0 || d.EMAWeight > 1 {
+		return fmt.Errorf("glk: EMAWeight %v out of (0,1]", d.EMAWeight)
+	}
+	if d.AdaptPeriod < d.SamplePeriod {
+		return fmt.Errorf("glk: AdaptPeriod %d < SamplePeriod %d", d.AdaptPeriod, d.SamplePeriod)
+	}
+	switch d.InitialMode {
+	case 0, ModeTicket, ModeMCS, ModeMutex:
+	default:
+		return fmt.Errorf("glk: invalid InitialMode %v", d.InitialMode)
+	}
+	return nil
+}
+
+// Lock is a GLK adaptive lock (the paper's glk_t, Figure 3). It contains
+// the mode flag, the three underlying lock objects, and the statistics
+// counters. Construct with New; the zero value is not usable.
+type Lock struct {
+	lockType atomic.Uint32 // current Mode
+
+	// present counts goroutines at the lock — inside Lock/TryLock or holding
+	// it. The paper samples queuing from the low-level locks (ticket's
+	// counter distance, MCS queue traversal); on the Go runtime a preempted
+	// waiter may not have enqueued into the low-level lock yet, which makes
+	// those samples mode-asymmetric and flappy, so GLK counts presence
+	// itself, uniformly across modes (see DESIGN.md).
+	present atomic.Int32
+
+	ticket locks.TicketLock
+	mcs    locks.MCSLock
+	mutex  locks.MutexLock
+
+	// Holder-only state, guarded by the lock itself.
+	acquiredMode Mode          // which low-level lock the current holder took
+	numAcquired  uint64        // completed critical sections
+	queueTotal   uint64        // sum of sampled queue lengths (paper's counter)
+	queueEMA     emastats.EMA  // moving average of queue samples
+	transitions  atomic.Uint64 // mode changes, for observability
+
+	cfg Config
+}
+
+var _ locks.Lock = (*Lock)(nil)
+
+// New returns a GLK lock in ticket mode. cfg == nil selects all defaults.
+// Invalid configurations panic: lock construction sites are static and a
+// bad period is a programming error, not a runtime condition.
+func New(cfg *Config) *Lock {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	c = c.withDefaults()
+	l := &Lock{cfg: c}
+	l.queueEMA = emastats.NewEMA(c.EMAWeight)
+	initial := c.InitialMode
+	if initial == 0 {
+		initial = ModeTicket
+	}
+	l.lockType.Store(uint32(initial))
+	return l
+}
+
+// monitor returns the configured or shared multiprogramming monitor.
+func (l *Lock) monitor() *sysmon.Monitor {
+	if l.cfg.Monitor != nil {
+		return l.cfg.Monitor
+	}
+	return sysmon.Shared()
+}
+
+// Mode returns the lock's current operating mode (racy snapshot).
+func (l *Lock) Mode() Mode { return Mode(l.lockType.Load()) }
+
+// Transitions returns the number of mode changes performed so far.
+func (l *Lock) Transitions() uint64 { return l.transitions.Load() }
+
+// Lock acquires l, adapting the mode if the statistics call for it
+// (paper Figure 4).
+func (l *Lock) Lock() {
+	l.present.Add(1)
+	for {
+		cur := Mode(l.lockType.Load())
+		l.lockLow(cur)
+		// Re-check the mode: another holder may have adapted while we
+		// waited on the (now stale) low-level lock.
+		if Mode(l.lockType.Load()) == cur && !l.tryAdapt(cur) {
+			l.acquiredMode = cur
+			return
+		}
+		l.unlockLow(cur)
+	}
+}
+
+// TryLock attempts to acquire l without waiting.
+func (l *Lock) TryLock() bool {
+	l.present.Add(1)
+	for {
+		cur := Mode(l.lockType.Load())
+		if !l.tryLockLow(cur) {
+			l.present.Add(-1)
+			return false
+		}
+		if Mode(l.lockType.Load()) == cur && !l.tryAdapt(cur) {
+			l.acquiredMode = cur
+			return true
+		}
+		l.unlockLow(cur)
+	}
+}
+
+// Unlock releases l. It must be called by the goroutine that acquired it.
+func (l *Lock) Unlock() {
+	m := l.acquiredMode
+	l.acquiredMode = 0
+	l.present.Add(-1)
+	l.unlockLow(m)
+}
+
+// lockLow acquires the low-level lock for mode m.
+func (l *Lock) lockLow(m Mode) {
+	switch m {
+	case ModeTicket:
+		l.ticket.Lock()
+	case ModeMCS:
+		l.mcs.Lock()
+	case ModeMutex:
+		l.mutex.Lock()
+	default:
+		panic(fmt.Sprintf("glk: corrupt mode %v (use glk.New)", m))
+	}
+}
+
+// tryLockLow try-acquires the low-level lock for mode m.
+func (l *Lock) tryLockLow(m Mode) bool {
+	switch m {
+	case ModeTicket:
+		return l.ticket.TryLock()
+	case ModeMCS:
+		return l.mcs.TryLock()
+	case ModeMutex:
+		return l.mutex.TryLock()
+	default:
+		panic(fmt.Sprintf("glk: corrupt mode %v (use glk.New)", m))
+	}
+}
+
+// unlockLow releases the low-level lock for mode m.
+func (l *Lock) unlockLow(m Mode) {
+	switch m {
+	case ModeTicket:
+		l.ticket.Unlock()
+	case ModeMCS:
+		l.mcs.Unlock()
+	case ModeMutex:
+		l.mutex.Unlock()
+	default:
+		panic(fmt.Sprintf("glk: Unlock of unlocked or corrupt lock (mode %v)", m))
+	}
+}
+
+// queueLen samples the number of goroutines at the lock, holder included.
+// The sample is mode-independent by design; see the present field.
+func (l *Lock) queueLen() int {
+	return int(l.present.Load())
+}
+
+// queueLenLow samples the low-level lock's own queue for mode m — the
+// paper's measurement. Must be called by the holder (the MCS sample
+// traverses the waiter queue, which is only safe from inside the lock).
+func (l *Lock) queueLenLow(m Mode) int {
+	switch m {
+	case ModeTicket:
+		return l.ticket.QueueLen()
+	case ModeMCS:
+		return l.mcs.QueueLen()
+	case ModeMutex:
+		return l.mutex.QueueLen()
+	default:
+		return 0
+	}
+}
+
+// tryAdapt runs the statistics/adaptation step. The caller holds the
+// low-level lock for mode cur. It returns true when the mode changed, in
+// which case the caller must release the low-level lock and restart (paper
+// Figure 4, line 15).
+//
+// All statistics fields are holder-only, so plain (non-atomic) updates are
+// safe: the low-level lock orders them.
+func (l *Lock) tryAdapt(cur Mode) bool {
+	if l.cfg.DisableAdaptation {
+		return false
+	}
+	l.numAcquired++
+	if l.numAcquired%l.cfg.SamplePeriod == 0 {
+		var q int
+		if l.cfg.SampleLowLevelQueues {
+			q = l.queueLenLow(cur)
+		} else {
+			q = l.queueLen()
+		}
+		if q < 0 {
+			q = 0
+		}
+		l.queueTotal += uint64(q)
+		l.queueEMA.Add(float64(q))
+	}
+	if l.numAcquired%l.cfg.AdaptPeriod != 0 {
+		return false
+	}
+	target, reason := l.decide(cur)
+	if target == cur {
+		return false
+	}
+	l.lockType.Store(uint32(target))
+	l.transitions.Add(1)
+	if l.cfg.OnTransition != nil {
+		l.cfg.OnTransition(cur, target, reason)
+	}
+	return true
+}
+
+// decide picks the mode for the next adaptation period from the queue EMA
+// and the multiprogramming flag.
+func (l *Lock) decide(cur Mode) (Mode, string) {
+	avg := l.queueEMA.Value()
+	if !l.queueEMA.Seeded() {
+		return cur, ""
+	}
+
+	if l.monitor().Multiprogrammed() {
+		// While the flag is set, a lock already in mutex mode stays there;
+		// the paper damps mutex→spinlock flapping by making the *flag*
+		// sticky (the monitor demands exponentially more calm rounds), not
+		// by letting locks bounce out early.
+		if cur == ModeMutex {
+			return cur, ""
+		}
+		// Contended locks must block; near-idle locks stay in ticket mode
+		// "in order to complete these critical sections as fast as
+		// possible" (paper §3).
+		if avg >= l.cfg.MutexQueueFloor {
+			return ModeMutex, fmt.Sprintf("multiprogramming (avg queue %.2f)", avg)
+		}
+		if cur != ModeTicket {
+			return ModeTicket, fmt.Sprintf("near-zero queuing under multiprogramming (%.2f)", avg)
+		}
+		return cur, ""
+	}
+
+	switch {
+	case avg > l.cfg.UpThreshold:
+		return ModeMCS, fmt.Sprintf("avg queue %.2f > %.2f", avg, l.cfg.UpThreshold)
+	case avg < l.cfg.DownThreshold:
+		return ModeTicket, fmt.Sprintf("avg queue %.2f < %.2f", avg, l.cfg.DownThreshold)
+	default:
+		// Inside the hysteresis band: leaving mutex needs a decision even
+		// when the band says "keep". Mid-band contention maps to mcs.
+		if cur == ModeMutex {
+			return ModeMCS, fmt.Sprintf("no multiprogramming (avg queue %.2f)", avg)
+		}
+		return cur, ""
+	}
+}
+
+// Stats is an observability snapshot of a GLK lock.
+type Stats struct {
+	Mode        Mode
+	Acquired    uint64  // completed critical sections (approximate while held)
+	QueueEMA    float64 // smoothed queue length
+	QueueTotal  uint64  // paper's queue_total counter
+	Transitions uint64
+}
+
+// Stats returns a racy snapshot of the lock's counters. Intended for
+// logging and tests, not for synchronisation decisions.
+func (l *Lock) Stats() Stats {
+	return Stats{
+		Mode:        l.Mode(),
+		Acquired:    l.numAcquired,
+		QueueEMA:    l.queueEMA.Value(),
+		QueueTotal:  l.queueTotal,
+		Transitions: l.transitions.Load(),
+	}
+}

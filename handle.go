@@ -1,0 +1,58 @@
+package gls
+
+import "gls/locks"
+
+// Handle is a per-goroutine accessor implementing the paper's §4.1
+// "Lock-cache Optimization": it remembers the last (key, lock) pair it
+// touched, so the common pattern — acquire a lock and release that same lock
+// with no other lock in between — skips the hash-table lookup entirely, and
+// repeated use of one lock hits the cache on the lock side too.
+//
+// The paper caches per thread; goroutines have no cheap identity, so the
+// cache lives in an explicit handle instead (see DESIGN.md). Create one
+// Handle per goroutine with NewHandle; a Handle must not be shared.
+//
+// Handles bypass the debug and profile instrumentation; they are the
+// latency-optimized path the paper's Figure 11 measures.
+type Handle struct {
+	s        *Service
+	lastKey  uint64
+	lastLock locks.Lock
+}
+
+// NewHandle returns a fresh handle bound to s.
+func (s *Service) NewHandle() *Handle {
+	return &Handle{s: s}
+}
+
+// lookup resolves key via the one-entry cache.
+func (h *Handle) lookup(key uint64) locks.Lock {
+	if key == h.lastKey && h.lastLock != nil {
+		return h.lastLock
+	}
+	e, _ := h.s.entryFor(key, algoGLK)
+	h.lastKey, h.lastLock = key, e.lock
+	return e.lock
+}
+
+// Lock acquires the GLK lock for key.
+func (h *Handle) Lock(key uint64) {
+	h.lookup(key).Lock()
+}
+
+// TryLock try-acquires the GLK lock for key.
+func (h *Handle) TryLock(key uint64) bool {
+	return h.lookup(key).TryLock()
+}
+
+// Unlock releases the lock for key. With no lock nesting this always hits
+// the cache (the last lock touched is the one being released).
+func (h *Handle) Unlock(key uint64) {
+	h.lookup(key).Unlock()
+}
+
+// Invalidate drops the cached pair. Call it if the key may have been freed
+// by another goroutine.
+func (h *Handle) Invalidate() {
+	h.lastKey, h.lastLock = 0, nil
+}

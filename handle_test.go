@@ -1,0 +1,111 @@
+package gls
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHandleBasic(t *testing.T) {
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	h.Lock(1)
+	h.Unlock(1)
+	if !h.TryLock(1) {
+		t.Fatal("TryLock via handle failed")
+	}
+	h.Unlock(1)
+}
+
+func TestHandleCacheHit(t *testing.T) {
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	h.Lock(9)
+	h.Unlock(9)
+	if h.lastKey != 9 || h.lastLock == nil {
+		t.Fatal("cache not populated")
+	}
+	cached := h.lastLock
+	h.Lock(9) // must reuse the cached lock
+	if h.lastLock != cached {
+		t.Fatal("cache miss on repeated key")
+	}
+	h.Unlock(9)
+}
+
+func TestHandleCacheUpdatesOnNewKey(t *testing.T) {
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	h.Lock(1)
+	h.Unlock(1)
+	first := h.lastLock
+	h.Lock(2)
+	h.Unlock(2)
+	if h.lastKey != 2 || h.lastLock == first {
+		t.Fatal("cache not updated on new key")
+	}
+}
+
+func TestHandleSharesLocksWithService(t *testing.T) {
+	// A handle and direct service calls must synchronise on the same lock.
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	counter := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			h.Lock(5)
+			counter++
+			h.Unlock(5)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			s.Lock(5)
+			counter++
+			s.Unlock(5)
+		}
+	}()
+	wg.Wait()
+	if counter != 6000 {
+		t.Fatalf("counter = %d, want 6000 (handle and service used different locks?)", counter)
+	}
+}
+
+func TestHandlePerGoroutine(t *testing.T) {
+	// Distinct handles over the same service still exclude each other.
+	s := newTestService(t, Options{})
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < 2000; i++ {
+				h.Lock(8)
+				counter++
+				h.Unlock(8)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestHandleInvalidate(t *testing.T) {
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	h.Lock(3)
+	h.Unlock(3)
+	h.Invalidate()
+	if h.lastKey != 0 || h.lastLock != nil {
+		t.Fatal("Invalidate left cache populated")
+	}
+	h.Lock(3) // must re-resolve without issue
+	h.Unlock(3)
+}

@@ -1,0 +1,169 @@
+package appsync
+
+import (
+	"sync"
+	"testing"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/sysmon"
+	"gls/locks"
+)
+
+func quietGLK() *glk.Config {
+	return &glk.Config{Monitor: sysmon.New(sysmon.Options{DisableProbes: true})}
+}
+
+func TestRawProviderStableLocks(t *testing.T) {
+	p := NewRaw(locks.Ticket)
+	a := p.GetLock("x")
+	b := p.GetLock("x")
+	if a != b {
+		t.Fatal("same role returned different locks")
+	}
+	if p.GetLock("y") == a {
+		t.Fatal("different roles share a lock")
+	}
+	if _, ok := a.(*locks.TicketLock); !ok {
+		t.Fatalf("wrong lock type %T", a)
+	}
+	p.InitLock("z")
+	if p.GetLock("z") == nil {
+		t.Fatal("InitLock did not create the lock")
+	}
+}
+
+func TestRawProviderRWLocks(t *testing.T) {
+	p := NewRaw(locks.Ticket)
+	rw := p.GetRWLock("r")
+	if rw != p.GetRWLock("r") {
+		t.Fatal("same role returned different rwlocks")
+	}
+	if _, ok := rw.(*locks.RWTTAS); !ok {
+		t.Fatalf("spinlock provider should hand out TTAS rwlocks, got %T", rw)
+	}
+	mp := NewRaw(locks.Mutex)
+	if _, ok := mp.GetRWLock("r").(*mutexRW); !ok {
+		t.Fatalf("mutex provider should hand out blocking rwlocks, got %T", mp.GetRWLock("r"))
+	}
+}
+
+func TestGLKProviderLocksAndInspection(t *testing.T) {
+	p := NewGLK(quietGLK())
+	l := p.GetLock("hot")
+	if _, ok := l.(*glk.Lock); !ok {
+		t.Fatalf("wrong type %T", l)
+	}
+	l.Lock()
+	l.Unlock()
+	m := p.Locks()
+	if m["hot"] == nil {
+		t.Fatal("Locks() missing created lock")
+	}
+	if m["hot"].Stats().Acquired != 1 {
+		t.Fatal("stats not visible through Locks()")
+	}
+}
+
+func TestGLSProviderKeysStable(t *testing.T) {
+	svc := gls.New(gls.Options{GLK: quietGLK()})
+	defer svc.Close()
+	p := NewGLS(svc, nil)
+	if p.Key("a") != p.Key("a") {
+		t.Fatal("role key unstable")
+	}
+	if p.Key("a") == p.Key("b") {
+		t.Fatal("distinct roles share a key")
+	}
+	l := p.GetLock("a")
+	l.Lock()
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded while held")
+	}
+	l.Unlock()
+}
+
+func TestGLSProviderSpecialization(t *testing.T) {
+	svc := gls.New(gls.Options{GLK: quietGLK()})
+	defer svc.Close()
+	p := NewGLS(svc, func(role string) locks.Algorithm {
+		if role == "hot" {
+			return locks.MCS
+		}
+		return 0
+	})
+	hot := p.GetLock("hot")
+	hot.Lock()
+	hot.Unlock()
+	cold := p.GetLock("cold")
+	cold.Lock()
+	cold.Unlock()
+	// The cold lock went through the GLK default: service stats exist.
+	if _, ok := svc.GLKStats(p.Key("cold")); !ok {
+		t.Fatal("default role not GLK-managed")
+	}
+	if _, ok := svc.GLKStats(p.Key("hot")); ok {
+		t.Fatal("specialized role unexpectedly GLK-managed")
+	}
+}
+
+func TestMutexRWExclusion(t *testing.T) {
+	l := newMutexRW()
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 4000 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestMutexRWReadersShare(t *testing.T) {
+	l := newMutexRW()
+	l.RLock()
+	if !l.TryRLock() {
+		t.Fatal("second reader blocked")
+	}
+	if l.TryLock() {
+		t.Fatal("writer entered under readers")
+	}
+	l.RUnlock()
+	l.RUnlock()
+	if !l.TryLock() {
+		t.Fatal("writer blocked on free lock")
+	}
+	if l.TryRLock() {
+		t.Fatal("reader entered under writer")
+	}
+	l.Unlock()
+}
+
+func TestProvidersConcurrentGetLock(t *testing.T) {
+	// Concurrent first-use of the same role must converge on one lock.
+	p := NewRaw(locks.MCS)
+	var wg sync.WaitGroup
+	results := make([]locks.Lock, 8)
+	for g := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = p.GetLock("shared")
+		}(g)
+	}
+	wg.Wait()
+	for _, l := range results[1:] {
+		if l != results[0] {
+			t.Fatal("concurrent GetLock returned different locks")
+		}
+	}
+}

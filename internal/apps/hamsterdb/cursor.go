@@ -1,0 +1,59 @@
+package hamsterdb
+
+// Cursor provides HamsterDB's ordered-traversal API on top of the B+tree.
+// Real HamsterDB cursors pin pages; this model re-seeks per step, which
+// keeps each step a complete lock-protected operation — the property the
+// global-lock contention profile depends on.
+type Cursor struct {
+	db        *DB
+	nextKey   uint64
+	exhausted bool // key space walked to its end
+	valid     bool
+	key       uint64
+	val       []byte
+}
+
+// NewCursor returns a cursor positioned before the first record.
+func (db *DB) NewCursor() *Cursor {
+	return &Cursor{db: db}
+}
+
+// Next advances to the next record in key order, reporting whether one
+// exists. Each step takes the global lock once, like every HamsterDB call.
+func (cu *Cursor) Next() bool {
+	if cu.exhausted {
+		return false
+	}
+	cu.valid = false
+	cu.db.global.Lock()
+	cu.db.tree.scanFrom(cu.nextKey, 1, func(k uint64, v []byte) bool {
+		cu.key, cu.val, cu.valid = k, v, true
+		return true
+	})
+	cu.db.global.Unlock()
+	cu.db.reads.Add(1)
+	if !cu.valid {
+		return false
+	}
+	if cu.key == ^uint64(0) {
+		cu.exhausted = true // the next seek key would overflow
+	} else {
+		cu.nextKey = cu.key + 1
+	}
+	return true
+}
+
+// Key returns the current record's key. Valid only after Next returned true.
+func (cu *Cursor) Key() uint64 { return cu.key }
+
+// Value returns the current record's value. Valid only after Next returned
+// true.
+func (cu *Cursor) Value() []byte { return cu.val }
+
+// Seek positions the cursor so the following Next returns the first record
+// with key >= k.
+func (cu *Cursor) Seek(k uint64) {
+	cu.nextKey = k
+	cu.valid = false
+	cu.exhausted = false
+}

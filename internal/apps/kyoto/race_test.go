@@ -1,0 +1,8 @@
+//go:build race
+
+package kyoto
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which inflates per-lock-operation cost by an order of magnitude
+// and invalidates throughput-ratio assertions.
+const raceEnabled = true

@@ -1,0 +1,52 @@
+package kyoto
+
+// Whole-database operations. These take the global reader-writer lock in
+// WRITE mode — the side the paper's per-record traffic never exercises —
+// so a workload mixing them in shows the RW lock's writer-starvation and
+// convoying behaviour.
+
+// Clear empties the store under the global write lock.
+func (db *DB) Clear() {
+	db.ops.Add(1)
+	db.global.Lock()
+	defer db.global.Unlock()
+	for i := range db.buckets {
+		db.buckets[i].entries = nil
+	}
+	db.count.Store(0)
+}
+
+// Snapshot copies every record under the global write lock (Kyoto's
+// snapshot/copy takes the exclusive lock to get a consistent image).
+func (db *DB) Snapshot() map[uint64][]byte {
+	db.ops.Add(1)
+	db.global.Lock()
+	defer db.global.Unlock()
+	out := make(map[uint64][]byte, db.count.Load())
+	for i := range db.buckets {
+		for _, e := range db.buckets[i].entries {
+			out[e.key] = e.val
+		}
+	}
+	return out
+}
+
+// Iterate visits records under the global read lock until visit returns
+// false. Per-bucket locks are still taken bucket by bucket, so concurrent
+// writers to other buckets proceed.
+func (db *DB) Iterate(visit func(key uint64, val []byte) bool) {
+	db.ops.Add(1)
+	db.global.RLock()
+	defer db.global.RUnlock()
+	for i := range db.buckets {
+		bl := db.bucketLocks[uint64(i)%bucketGroups]
+		bl.Lock()
+		for _, e := range db.buckets[i].entries {
+			if !visit(e.key, e.val) {
+				bl.Unlock()
+				return
+			}
+		}
+		bl.Unlock()
+	}
+}

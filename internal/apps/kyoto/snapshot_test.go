@@ -1,0 +1,97 @@
+package kyoto
+
+import (
+	"sync"
+	"testing"
+
+	"gls/internal/apps/appsync"
+	"gls/locks"
+)
+
+func TestClearAndSnapshot(t *testing.T) {
+	db := New(Config{Provider: appsync.NewRaw(locks.Mutex), Variant: HashDB, Buckets: 64})
+	for k := uint64(1); k <= 100; k++ {
+		db.Set(k, []byte{byte(k)})
+	}
+	snap := db.Snapshot()
+	if len(snap) != 100 {
+		t.Fatalf("snapshot has %d records, want 100", len(snap))
+	}
+	if snap[7][0] != 7 {
+		t.Fatal("snapshot value wrong")
+	}
+	db.Clear()
+	if db.Count() != 0 {
+		t.Fatalf("Count after Clear = %d", db.Count())
+	}
+	if db.Get(7) != nil {
+		t.Fatal("record survived Clear")
+	}
+	// Snapshot is a copy: the cleared store does not affect it.
+	if len(snap) != 100 {
+		t.Fatal("snapshot aliased live storage")
+	}
+}
+
+func TestIterateVisitsAllAndStops(t *testing.T) {
+	db := New(Config{Provider: appsync.NewRaw(locks.Ticket), Variant: Cache, Buckets: 64})
+	for k := uint64(1); k <= 50; k++ {
+		db.Set(k, []byte("v"))
+	}
+	seen := map[uint64]bool{}
+	db.Iterate(func(k uint64, _ []byte) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 50 {
+		t.Fatalf("Iterate visited %d, want 50", len(seen))
+	}
+	n := 0
+	db.Iterate(func(uint64, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Iterate after false visited %d", n)
+	}
+}
+
+func TestBucketsRoundedToLockGroups(t *testing.T) {
+	db := New(Config{Provider: appsync.NewRaw(locks.Mutex), Variant: HashDB, Buckets: 100})
+	if len(db.buckets)%bucketGroups != 0 {
+		t.Fatalf("buckets = %d, not a multiple of %d", len(db.buckets), bucketGroups)
+	}
+}
+
+func TestClearConcurrentWithWriters(t *testing.T) {
+	// Whole-DB write-locked operations must interleave safely with
+	// per-record traffic on the read side of the global lock.
+	db := New(Config{Provider: appsync.NewRaw(locks.Mutex), Variant: HashDB, Buckets: 64})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			k := base * 1_000_000
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				db.Set(k, []byte("v"))
+				db.Get(k)
+				k++
+			}
+		}(uint64(g))
+	}
+	for i := 0; i < 20; i++ {
+		db.Clear()
+		db.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+	// Post-condition: store still consistent and usable.
+	db.Set(1, []byte("x"))
+	if db.Get(1) == nil {
+		t.Fatal("store unusable after Clear churn")
+	}
+}

@@ -1,0 +1,295 @@
+// Package litesql models SQLite's concurrency structure as the paper
+// evaluates it (§5.2): "SQLite uses a MUTEX for each database (e.g., each
+// new connection), another for memory allocation, and a last one for
+// protecting the database cache. However, the nodes of the B-tree are
+// protected by custom reader-writer locks. The mutexes of SQLite become
+// contended as we increase the number of connections."
+//
+// The workload is TPC-C-like over 100 warehouses (Table 2), driven through
+// 8–64 connections; with enough connections the run is multiprogrammed,
+// which is where fair spinlocks livelock and GLK must fall back to mutex
+// mode.
+package litesql
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gls/internal/apps/appsync"
+	"gls/internal/cycles"
+	"gls/internal/xrand"
+	"gls/locks"
+)
+
+// Lock role names.
+const (
+	RoleConnFmt = "sqlite_conn"
+	RoleMalloc  = "sqlite_malloc"
+	RolePgCache = "sqlite_pgcache"
+	RoleDBNodes = "sqlite_btree_node"
+)
+
+// DefaultWarehouses matches the paper's TPC-C configuration.
+const DefaultWarehouses = 100
+
+// Per-operation work model, in cycles.
+const (
+	parseWorkCycles = 300 // SQL parse/plan under the connection mutex
+	pageWorkCycles  = 150 // per page-cache access
+	rowWorkCycles   = 120 // per row touched
+)
+
+// warehouse is the TPC-C per-warehouse state.
+type warehouse struct {
+	ytd       int64
+	stock     []int64 // per item
+	orders    uint64
+	customers []int64 // balances
+}
+
+// DB is one SQLite database file shared by all connections.
+type DB struct {
+	mallocLock locks.Lock
+	cacheLock  locks.Lock
+	// nodeLocks are the B-tree node reader-writer locks; writers take the
+	// root exclusively (SQLite has a single writer at a time).
+	nodeLocks []locks.RWLock
+
+	warehouses []warehouse
+
+	commits atomic.Uint64
+}
+
+// Config sizes the database.
+type Config struct {
+	Provider   appsync.Provider
+	Warehouses int // default DefaultWarehouses
+	Items      int // stock items per warehouse (default 1000)
+	Customers  int // customers per warehouse (default 300)
+}
+
+const nodeLockPool = 16
+
+// New creates the database with locks from the provider.
+func New(cfg Config) *DB {
+	if cfg.Warehouses <= 0 {
+		cfg.Warehouses = DefaultWarehouses
+	}
+	if cfg.Items <= 0 {
+		cfg.Items = 1000
+	}
+	if cfg.Customers <= 0 {
+		cfg.Customers = 300
+	}
+	p := cfg.Provider
+	p.InitLock(RoleMalloc)
+	p.InitLock(RolePgCache)
+	db := &DB{
+		mallocLock: p.GetLock(RoleMalloc),
+		cacheLock:  p.GetLock(RolePgCache),
+		nodeLocks:  make([]locks.RWLock, nodeLockPool),
+		warehouses: make([]warehouse, cfg.Warehouses),
+	}
+	for i := range db.nodeLocks {
+		db.nodeLocks[i] = p.GetRWLock(RoleDBNodes + "-" + string(rune('a'+i)))
+	}
+	for w := range db.warehouses {
+		db.warehouses[w].stock = make([]int64, cfg.Items)
+		for i := range db.warehouses[w].stock {
+			db.warehouses[w].stock[i] = 100000
+		}
+		db.warehouses[w].customers = make([]int64, cfg.Customers)
+	}
+	return db
+}
+
+// Commits returns the number of committed transactions.
+func (db *DB) Commits() uint64 { return db.commits.Load() }
+
+// Conn is one SQLite connection; SQLite serializes each connection behind
+// its own mutex.
+type Conn struct {
+	db  *DB
+	mu  locks.Lock
+	rng *xrand.SplitMix64
+}
+
+// NewConn opens connection number id.
+func (db *DB) NewConn(p appsync.Provider, id int, seed uint64) *Conn {
+	role := RoleConnFmt + "-" + itoa(id)
+	p.InitLock(role)
+	return &Conn{
+		db:  db,
+		mu:  p.GetLock(role),
+		rng: xrand.NewSplitMix64(seed + uint64(id)*50021),
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// alloc models sqlite3_malloc under the allocator mutex.
+func (db *DB) alloc() {
+	db.mallocLock.Lock()
+	cycles.Wait(60)
+	db.mallocLock.Unlock()
+}
+
+// pageAccess models one page-cache probe under the cache mutex.
+func (db *DB) pageAccess() {
+	db.cacheLock.Lock()
+	cycles.Wait(pageWorkCycles)
+	db.cacheLock.Unlock()
+}
+
+// NewOrder runs a TPC-C new-order transaction: write transaction, root
+// node exclusive.
+func (c *Conn) NewOrder() {
+	c.mu.Lock()
+	cycles.Wait(parseWorkCycles)
+	c.db.alloc()
+
+	root := c.db.nodeLocks[0]
+	root.Lock() // single writer
+	w := &c.db.warehouses[c.rng.Uintn(uint64(len(c.db.warehouses)))]
+	items := 5 + int(c.rng.Uintn(11))
+	for i := 0; i < items; i++ {
+		c.db.pageAccess()
+		it := c.rng.Uintn(uint64(len(w.stock)))
+		qty := int64(1 + c.rng.Uintn(10))
+		w.stock[it] -= qty
+		if w.stock[it] < 10 {
+			w.stock[it] += 100000 // restock, as TPC-C does
+		}
+		cycles.Wait(rowWorkCycles)
+	}
+	w.orders++
+	root.Unlock()
+
+	c.db.commits.Add(1)
+	c.mu.Unlock()
+}
+
+// Payment runs a TPC-C payment transaction: short write.
+func (c *Conn) Payment() {
+	c.mu.Lock()
+	cycles.Wait(parseWorkCycles)
+	c.db.alloc()
+
+	root := c.db.nodeLocks[0]
+	root.Lock()
+	w := &c.db.warehouses[c.rng.Uintn(uint64(len(c.db.warehouses)))]
+	amount := int64(1 + c.rng.Uintn(5000))
+	w.ytd += amount
+	cust := c.rng.Uintn(uint64(len(w.customers)))
+	w.customers[cust] -= amount
+	c.db.pageAccess()
+	cycles.Wait(rowWorkCycles)
+	root.Unlock()
+
+	c.db.commits.Add(1)
+	c.mu.Unlock()
+}
+
+// OrderStatus runs a read-only transaction: shared node latches.
+func (c *Conn) OrderStatus() {
+	c.mu.Lock()
+	cycles.Wait(parseWorkCycles)
+
+	h := c.rng.Next()
+	n1 := c.db.nodeLocks[h%nodeLockPool]
+	n1.RLock()
+	c.db.pageAccess()
+	w := &c.db.warehouses[h%uint64(len(c.db.warehouses))]
+	_ = w.orders
+	_ = w.customers[h%uint64(len(w.customers))]
+	cycles.Wait(rowWorkCycles)
+	n1.RUnlock()
+
+	c.db.commits.Add(1)
+	c.mu.Unlock()
+}
+
+// CheckConsistency verifies TPC-C-style invariants: warehouse YTD equals
+// the sum credited, and customer balances mirror payments. It reports
+// whether total YTD equals -sum(balances) (every payment debits a customer
+// and credits a warehouse).
+func (db *DB) CheckConsistency() bool {
+	var ytd, balances int64
+	for w := range db.warehouses {
+		ytd += db.warehouses[w].ytd
+		for _, b := range db.warehouses[w].customers {
+			balances += b
+		}
+	}
+	return ytd == -balances
+}
+
+// WorkloadConfig drives TPC-C with N connections (Table 2: 8/16/32/64).
+type WorkloadConfig struct {
+	Connections int
+	Duration    time.Duration
+	Seed        uint64
+	// Mix (fractions): NewOrder, Payment, rest OrderStatus. Defaults 0.45,
+	// 0.43.
+	NewOrderRatio float64
+	PaymentRatio  float64
+}
+
+// RunWorkload opens the connections and drives transactions, returning
+// committed transactions and elapsed time.
+func RunWorkload(db *DB, p appsync.Provider, w WorkloadConfig) (uint64, time.Duration) {
+	if w.Connections <= 0 {
+		w.Connections = 8
+	}
+	if w.Duration <= 0 {
+		w.Duration = 100 * time.Millisecond
+	}
+	if w.NewOrderRatio == 0 {
+		w.NewOrderRatio = 0.45
+	}
+	if w.PaymentRatio == 0 {
+		w.PaymentRatio = 0.43
+	}
+	conns := make([]*Conn, w.Connections)
+	for i := range conns {
+		conns[i] = db.NewConn(p, i, w.Seed)
+	}
+	var stop atomic.Bool
+	done := make(chan struct{})
+	before := db.Commits()
+	for _, c := range conns {
+		go func(c *Conn) {
+			defer func() { done <- struct{}{} }()
+			for !stop.Load() {
+				r := c.rng.Float64()
+				switch {
+				case r < w.NewOrderRatio:
+					c.NewOrder()
+				case r < w.NewOrderRatio+w.PaymentRatio:
+					c.Payment()
+				default:
+					c.OrderStatus()
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	for range conns {
+		<-done
+	}
+	return db.Commits() - before, time.Since(start)
+}

@@ -1,0 +1,64 @@
+package litesql
+
+import "gls/internal/cycles"
+
+// The remaining TPC-C transaction profiles. Delivery is a long write
+// transaction (it processes up to ten orders); StockLevel is a heavy
+// read-only transaction. Both follow SQLite's lock discipline: connection
+// mutex, then B-tree node latches, with page-cache and allocator mutexes
+// underneath.
+
+// Delivery processes pending orders for one warehouse: a long write
+// transaction holding the root latch across many rows.
+func (c *Conn) Delivery() {
+	c.mu.Lock()
+	cycles.Wait(parseWorkCycles)
+	c.db.alloc()
+
+	root := c.db.nodeLocks[0]
+	root.Lock()
+	w := &c.db.warehouses[c.rng.Uintn(uint64(len(c.db.warehouses)))]
+	orders := 1 + c.rng.Uintn(10)
+	for i := uint64(0); i < orders; i++ {
+		c.db.pageAccess()
+		// A delivery settles an order: the customer is credited and the
+		// warehouse's year-to-date balance gives the amount back — the
+		// mirror image of Payment, preserving ytd == -sum(balances).
+		amount := int64(1 + c.rng.Uintn(100))
+		cust := c.rng.Uintn(uint64(len(w.customers)))
+		w.customers[cust] += amount
+		w.ytd -= amount
+		cycles.Wait(rowWorkCycles)
+	}
+	root.Unlock()
+
+	c.db.commits.Add(1)
+	c.mu.Unlock()
+}
+
+// StockLevel counts low-stock items for one warehouse: read-only but
+// touching many rows (TPC-C's heaviest read).
+func (c *Conn) StockLevel() int {
+	c.mu.Lock()
+	cycles.Wait(parseWorkCycles)
+
+	h := c.rng.Next()
+	leaf := c.db.nodeLocks[h%nodeLockPool]
+	leaf.RLock()
+	w := &c.db.warehouses[h%uint64(len(c.db.warehouses))]
+	low := 0
+	samples := 20 + int(c.rng.Uintn(20))
+	for i := 0; i < samples; i++ {
+		c.db.pageAccess()
+		it := c.rng.Uintn(uint64(len(w.stock)))
+		if w.stock[it] < 50000 {
+			low++
+		}
+		cycles.Wait(rowWorkCycles / 2)
+	}
+	leaf.RUnlock()
+
+	c.db.commits.Add(1)
+	c.mu.Unlock()
+	return low
+}

@@ -1,0 +1,78 @@
+package litesql
+
+import (
+	"sync"
+	"testing"
+
+	"gls/internal/apps/appsync"
+	"gls/locks"
+)
+
+func TestDeliveryPreservesConsistency(t *testing.T) {
+	p := appsync.NewRaw(locks.Mutex)
+	db := smallDB(p)
+	c := db.NewConn(p, 0, 21)
+	for i := 0; i < 50; i++ {
+		c.Payment()
+		c.Delivery()
+	}
+	if !db.CheckConsistency() {
+		t.Fatal("Delivery broke the ytd/balance invariant")
+	}
+	if db.Commits() != 100 {
+		t.Fatalf("Commits = %d", db.Commits())
+	}
+}
+
+func TestStockLevelReadsOnly(t *testing.T) {
+	p := appsync.NewRaw(locks.Mutex)
+	db := smallDB(p)
+	c := db.NewConn(p, 0, 22)
+	low := c.StockLevel()
+	if low < 0 {
+		t.Fatalf("StockLevel = %d", low)
+	}
+	// Read-only: the books did not move.
+	if !db.CheckConsistency() {
+		t.Fatal("StockLevel mutated state")
+	}
+}
+
+func TestFullTPCCMixConcurrent(t *testing.T) {
+	for _, algo := range []locks.Algorithm{locks.Mutex, locks.MCS} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			p := appsync.NewRaw(algo)
+			db := smallDB(p)
+			var wg sync.WaitGroup
+			for g := 0; g < 5; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					c := db.NewConn(p, id, 23)
+					for i := 0; i < 200; i++ {
+						switch i % 5 {
+						case 0:
+							c.NewOrder()
+						case 1:
+							c.Payment()
+						case 2:
+							c.OrderStatus()
+						case 3:
+							c.Delivery()
+						default:
+							c.StockLevel()
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if db.Commits() != 5*200 {
+				t.Fatalf("Commits = %d, want 1000", db.Commits())
+			}
+			if !db.CheckConsistency() {
+				t.Fatal("full mix broke consistency")
+			}
+		})
+	}
+}

@@ -1,0 +1,267 @@
+package memcached
+
+import (
+	"strconv"
+	"time"
+)
+
+// The remaining Memcached command set. Each command follows the same lock
+// discipline as Get/Set: item-stripe lock for the table, cache_lock for LRU
+// membership, stats_lock for counters — so enabling them changes the *mix*
+// of traffic across the lock layout without adding new lock roles.
+
+// Delete removes key, reporting whether it existed.
+func (c *Cache) Delete(key string) bool {
+	h := c.hash(key)
+	b := h % uint64(len(c.buckets))
+	l := c.itemLocks[h%uint64(len(c.itemLocks))]
+
+	l.Lock()
+	cur := c.buckets[b]
+	var prev *item
+	for cur != nil && cur.key != key {
+		prev, cur = cur, cur.hnext
+	}
+	if cur != nil {
+		if prev == nil {
+			c.buckets[b] = cur.hnext
+		} else {
+			prev.hnext = cur.hnext
+		}
+	}
+	l.Unlock()
+
+	items := -1
+	if cur != nil {
+		c.cacheLock.Lock()
+		c.lruUnlink(cur)
+		c.nitems--
+		items = c.nitems // capture under cacheLock
+		c.cacheLock.Unlock()
+	}
+
+	c.statsLock.Lock()
+	if cur != nil {
+		c.stats.DeleteHits++
+		c.stats.CurrItems = uint64(items)
+	} else {
+		c.stats.DeleteMisses++
+	}
+	c.statsLock.Unlock()
+	return cur != nil
+}
+
+// Incr atomically adds delta to a numeric value, returning the new value
+// and whether the key existed and was numeric. Memcached performs this
+// read-modify-write under the item lock.
+func (c *Cache) Incr(key string, delta uint64) (uint64, bool) {
+	h := c.hash(key)
+	b := h % uint64(len(c.buckets))
+	l := c.itemLocks[h%uint64(len(c.itemLocks))]
+
+	l.Lock()
+	it := c.buckets[b]
+	for it != nil && it.key != key {
+		it = it.hnext
+	}
+	var out uint64
+	ok := false
+	if it != nil {
+		if v, err := strconv.ParseUint(string(it.value), 10, 64); err == nil {
+			out = v + delta
+			it.value = []byte(strconv.FormatUint(out, 10))
+			ok = true
+		}
+	}
+	l.Unlock()
+
+	c.statsLock.Lock()
+	if ok {
+		c.stats.IncrHits++
+	} else {
+		c.stats.IncrMisses++
+	}
+	c.statsLock.Unlock()
+	return out, ok
+}
+
+// Decr atomically subtracts delta, clamping at zero as memcached does.
+func (c *Cache) Decr(key string, delta uint64) (uint64, bool) {
+	h := c.hash(key)
+	b := h % uint64(len(c.buckets))
+	l := c.itemLocks[h%uint64(len(c.itemLocks))]
+
+	l.Lock()
+	it := c.buckets[b]
+	for it != nil && it.key != key {
+		it = it.hnext
+	}
+	var out uint64
+	ok := false
+	if it != nil {
+		if v, err := strconv.ParseUint(string(it.value), 10, 64); err == nil {
+			if v > delta {
+				out = v - delta
+			}
+			it.value = []byte(strconv.FormatUint(out, 10))
+			ok = true
+		}
+	}
+	l.Unlock()
+
+	c.statsLock.Lock()
+	if ok {
+		c.stats.IncrHits++
+	} else {
+		c.stats.IncrMisses++
+	}
+	c.statsLock.Unlock()
+	return out, ok
+}
+
+// CompareAndSwap replaces key's value only if its current version matches
+// casid (memcached's cas command; versions are returned by Gets).
+func (c *Cache) CompareAndSwap(key string, value []byte, casid uint64) bool {
+	h := c.hash(key)
+	b := h % uint64(len(c.buckets))
+	l := c.itemLocks[h%uint64(len(c.itemLocks))]
+
+	l.Lock()
+	it := c.buckets[b]
+	for it != nil && it.key != key {
+		it = it.hnext
+	}
+	ok := it != nil && it.casid == casid
+	if ok {
+		it.value = value
+		it.casid++
+	}
+	l.Unlock()
+
+	c.statsLock.Lock()
+	if ok {
+		c.stats.CASHits++
+	} else {
+		c.stats.CASMisses++
+	}
+	c.statsLock.Unlock()
+	return ok
+}
+
+// Gets returns the value and its CAS version.
+func (c *Cache) Gets(key string) ([]byte, uint64, bool) {
+	h := c.hash(key)
+	b := h % uint64(len(c.buckets))
+	l := c.itemLocks[h%uint64(len(c.itemLocks))]
+
+	l.Lock()
+	it := c.buckets[b]
+	for it != nil && it.key != key {
+		it = it.hnext
+	}
+	var val []byte
+	var casid uint64
+	if it != nil {
+		val, casid = it.value, it.casid
+	}
+	l.Unlock()
+
+	c.statsLock.Lock()
+	if it != nil {
+		c.stats.GetHits++
+	} else {
+		c.stats.GetMisses++
+	}
+	c.statsLock.Unlock()
+	return val, casid, it != nil
+}
+
+// SetWithTTL stores a value that expires after ttl. Expiration is lazy, as
+// in memcached: expired items are treated as absent by readers and removed
+// when encountered.
+func (c *Cache) SetWithTTL(key string, value []byte, ttl time.Duration) {
+	c.Set(key, value)
+	if ttl <= 0 {
+		return
+	}
+	exp := time.Now().Add(ttl).UnixNano()
+	h := c.hash(key)
+	b := h % uint64(len(c.buckets))
+	l := c.itemLocks[h%uint64(len(c.itemLocks))]
+	l.Lock()
+	for it := c.buckets[b]; it != nil; it = it.hnext {
+		if it.key == key {
+			it.expires = exp
+			break
+		}
+	}
+	l.Unlock()
+}
+
+// GetLive is Get plus lazy expiration: an expired item reads as a miss and
+// is deleted on the way out.
+func (c *Cache) GetLive(key string) []byte {
+	h := c.hash(key)
+	b := h % uint64(len(c.buckets))
+	l := c.itemLocks[h%uint64(len(c.itemLocks))]
+
+	now := time.Now().UnixNano()
+	l.Lock()
+	it := c.buckets[b]
+	for it != nil && it.key != key {
+		it = it.hnext
+	}
+	expired := it != nil && it.expires != 0 && it.expires <= now
+	var val []byte
+	if it != nil && !expired {
+		val = it.value
+	}
+	l.Unlock()
+
+	if expired {
+		c.Delete(key)
+		c.statsLock.Lock()
+		c.stats.Expired++
+		c.statsLock.Unlock()
+		return nil
+	}
+	c.statsLock.Lock()
+	if val != nil {
+		c.stats.GetHits++
+	} else {
+		c.stats.GetMisses++
+	}
+	c.statsLock.Unlock()
+	return val
+}
+
+// MultiGet fetches several keys, as memcached's get with multiple keys.
+func (c *Cache) MultiGet(keys []string) map[string][]byte {
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v := c.Get(k); v != nil {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// FlushAll empties the cache — a whole-structure operation that holds the
+// cache lock while touching every stripe.
+func (c *Cache) FlushAll() {
+	c.cacheLock.Lock()
+	for i := range c.buckets {
+		l := c.itemLocks[uint64(i)%uint64(len(c.itemLocks))]
+		l.Lock()
+		c.buckets[i] = nil
+		l.Unlock()
+	}
+	c.lruHead, c.lruTail = nil, nil
+	c.nitems = 0
+	c.cacheLock.Unlock()
+
+	c.statsLock.Lock()
+	c.stats.CurrItems = 0
+	c.stats.Flushes++
+	c.statsLock.Unlock()
+}

@@ -1,0 +1,236 @@
+package memcached
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"gls/internal/apps/appsync"
+	"gls/locks"
+)
+
+func TestDelete(t *testing.T) {
+	c := newCache(t, appsync.NewRaw(locks.Mutex))
+	c.Set("a", []byte("1"))
+	if !c.Delete("a") {
+		t.Fatal("Delete of existing key failed")
+	}
+	if c.Get("a") != nil {
+		t.Fatal("key visible after Delete")
+	}
+	if c.Delete("a") {
+		t.Fatal("double Delete succeeded")
+	}
+	if c.Items() != 0 {
+		t.Fatalf("Items = %d", c.Items())
+	}
+	st := c.StatsSnapshot()
+	if st.DeleteHits != 1 || st.DeleteMisses != 1 {
+		t.Fatalf("delete stats %+v", st)
+	}
+}
+
+func TestDeleteMaintainsLRUIntegrity(t *testing.T) {
+	p := appsync.NewRaw(locks.Ticket)
+	c := New(Config{Provider: p, Buckets: 64, CapacityItems: 4})
+	for _, k := range []string{"a", "b", "c"} {
+		c.Set(k, []byte(k))
+	}
+	c.Delete("b") // middle of the LRU list
+	c.Set("d", []byte("d"))
+	c.Set("e", []byte("e"))
+	c.Set("f", []byte("f")) // forces eviction through the repaired list
+	if c.Items() > 4 {
+		t.Fatalf("Items = %d after delete+evict churn", c.Items())
+	}
+	if c.Get("f") == nil {
+		t.Fatal("most recent key missing")
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	c := newCache(t, appsync.NewRaw(locks.Mutex))
+	c.Set("n", []byte("10"))
+	if v, ok := c.Incr("n", 5); !ok || v != 15 {
+		t.Fatalf("Incr = %d,%v", v, ok)
+	}
+	if v, ok := c.Decr("n", 3); !ok || v != 12 {
+		t.Fatalf("Decr = %d,%v", v, ok)
+	}
+	if v, ok := c.Decr("n", 100); !ok || v != 0 {
+		t.Fatalf("Decr clamp = %d,%v, want 0", v, ok)
+	}
+	if _, ok := c.Incr("missing", 1); ok {
+		t.Fatal("Incr on missing key succeeded")
+	}
+	c.Set("s", []byte("not-a-number"))
+	if _, ok := c.Incr("s", 1); ok {
+		t.Fatal("Incr on non-numeric value succeeded")
+	}
+}
+
+func TestIncrAtomicUnderConcurrency(t *testing.T) {
+	for _, algo := range []locks.Algorithm{locks.Mutex, locks.Ticket, locks.MCS} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			c := newCache(t, appsync.NewRaw(algo))
+			c.Set("ctr", []byte("0"))
+			var wg sync.WaitGroup
+			const goroutines, per = 4, 500
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						c.Incr("ctr", 1)
+					}
+				}()
+			}
+			wg.Wait()
+			got, err := strconv.Atoi(string(c.Get("ctr")))
+			if err != nil || got != goroutines*per {
+				t.Fatalf("counter = %v (%v), want %d", got, err, goroutines*per)
+			}
+		})
+	}
+}
+
+func TestCAS(t *testing.T) {
+	c := newCache(t, appsync.NewRaw(locks.Mutex))
+	c.Set("k", []byte("v0"))
+	_, casid, ok := c.Gets("k")
+	if !ok {
+		t.Fatal("Gets missed")
+	}
+	if !c.CompareAndSwap("k", []byte("v1"), casid) {
+		t.Fatal("CAS with fresh version failed")
+	}
+	if c.CompareAndSwap("k", []byte("v2"), casid) {
+		t.Fatal("CAS with stale version succeeded")
+	}
+	if got := string(c.Get("k")); got != "v1" {
+		t.Fatalf("value = %q", got)
+	}
+	st := c.StatsSnapshot()
+	if st.CASHits != 1 || st.CASMisses != 1 {
+		t.Fatalf("cas stats %+v", st)
+	}
+}
+
+func TestCASExactlyOneWinner(t *testing.T) {
+	c := newCache(t, appsync.NewRaw(locks.MCS))
+	c.Set("k", []byte("base"))
+	_, casid, _ := c.Gets("k")
+	var wg sync.WaitGroup
+	wins := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if c.CompareAndSwap("k", []byte{byte(id)}, casid) {
+				wins <- id
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d CAS winners for one version, want exactly 1", n)
+	}
+}
+
+func TestTTLExpiration(t *testing.T) {
+	c := newCache(t, appsync.NewRaw(locks.Mutex))
+	c.SetWithTTL("tmp", []byte("v"), 5*time.Millisecond)
+	if c.GetLive("tmp") == nil {
+		t.Fatal("fresh TTL key read as miss")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if c.GetLive("tmp") != nil {
+		t.Fatal("expired key still readable")
+	}
+	if c.Get("tmp") != nil {
+		t.Fatal("expired key not lazily deleted")
+	}
+	if c.StatsSnapshot().Expired != 1 {
+		t.Fatal("expiration not counted")
+	}
+	// Zero TTL means never expires.
+	c.SetWithTTL("perm", []byte("v"), 0)
+	time.Sleep(2 * time.Millisecond)
+	if c.GetLive("perm") == nil {
+		t.Fatal("zero-TTL key expired")
+	}
+}
+
+func TestMultiGet(t *testing.T) {
+	c := newCache(t, appsync.NewRaw(locks.Mutex))
+	c.Set("a", []byte("1"))
+	c.Set("b", []byte("2"))
+	got := c.MultiGet([]string{"a", "b", "missing"})
+	if len(got) != 2 || string(got["a"]) != "1" || string(got["b"]) != "2" {
+		t.Fatalf("MultiGet = %v", got)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := newCache(t, appsync.NewRaw(locks.Ticket))
+	for i := 0; i < 50; i++ {
+		c.Set("k"+strconv.Itoa(i), []byte("v"))
+	}
+	c.FlushAll()
+	if c.Items() != 0 {
+		t.Fatalf("Items after flush = %d", c.Items())
+	}
+	for i := 0; i < 50; i++ {
+		if c.Get("k"+strconv.Itoa(i)) != nil {
+			t.Fatal("key survived FlushAll")
+		}
+	}
+	if c.StatsSnapshot().Flushes != 1 {
+		t.Fatal("flush not counted")
+	}
+	// Cache still usable.
+	c.Set("new", []byte("v"))
+	if c.Get("new") == nil {
+		t.Fatal("cache unusable after flush")
+	}
+}
+
+func TestFlushAllConcurrentWithTraffic(t *testing.T) {
+	c := newCache(t, appsync.NewRaw(locks.Mutex))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := "k" + strconv.Itoa(id) + "-" + strconv.Itoa(i%64)
+				c.Set(k, []byte("v"))
+				c.Get(k)
+				i++
+			}
+		}(g)
+	}
+	for i := 0; i < 5; i++ {
+		time.Sleep(2 * time.Millisecond)
+		c.FlushAll()
+	}
+	close(stop)
+	wg.Wait()
+	if c.StatsSnapshot().Flushes != 5 {
+		t.Fatal("flush count wrong")
+	}
+}

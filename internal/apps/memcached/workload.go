@@ -1,0 +1,92 @@
+package memcached
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gls/internal/xrand"
+)
+
+// WorkloadConfig is the paper's Twitter-like benchmark (§5.2 Table 2): a
+// zipf-skewed key popularity with a configurable GET ratio — 10% (SET),
+// 50% (SET/GET), or 90% (GET).
+type WorkloadConfig struct {
+	// GetRatio is the fraction of GET operations in [0,1].
+	GetRatio float64
+	// Keys is the key-space size (default 65536).
+	Keys int
+	// KeySkew is the zipf alpha for key popularity (default 0.99,
+	// YCSB/Twitter-like).
+	KeySkew float64
+	// Threads is the number of client workers (the paper uses 8).
+	Threads int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// ValueBytes is the object size (default 64).
+	ValueBytes int
+	// Seed fixes the random streams.
+	Seed uint64
+}
+
+// RunWorkload drives the cache and returns total operations and elapsed
+// time. Workers pre-generate key strings so measurement excludes
+// formatting cost.
+func RunWorkload(c *Cache, w WorkloadConfig) (uint64, time.Duration) {
+	if w.Keys <= 0 {
+		w.Keys = 65536
+	}
+	if w.KeySkew == 0 {
+		w.KeySkew = 0.99
+	}
+	if w.Threads <= 0 {
+		w.Threads = 1
+	}
+	if w.Duration <= 0 {
+		w.Duration = 100 * time.Millisecond
+	}
+	if w.ValueBytes <= 0 {
+		w.ValueBytes = 64
+	}
+
+	keys := make([]string, w.Keys)
+	for i := range keys {
+		keys[i] = "key:" + strconv.Itoa(i)
+	}
+	value := make([]byte, w.ValueBytes)
+
+	// Warm the cache so GETs mostly hit, as in a steady-state cache.
+	warm := xrand.NewSplitMix64(w.Seed ^ 0xfeed)
+	for i := 0; i < w.Keys/4; i++ {
+		c.Set(keys[warm.Uintn(uint64(w.Keys))], value)
+	}
+
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for t := 0; t < w.Threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.NewSplitMix64(w.Seed + uint64(id)*7919)
+			zipf := xrand.NewZipf(rng, w.Keys, w.KeySkew)
+			ops := uint64(0)
+			for !stop.Load() {
+				k := keys[zipf.Next()]
+				if rng.Bool(w.GetRatio) {
+					c.Get(k)
+				} else {
+					c.Set(k, value)
+				}
+				ops++
+			}
+			total.Add(ops)
+		}(t)
+	}
+	start := time.Now()
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	wg.Wait()
+	return total.Load(), time.Since(start)
+}

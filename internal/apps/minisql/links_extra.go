@@ -1,0 +1,100 @@
+package minisql
+
+import (
+	"gls/internal/cycles"
+	"gls/internal/xrand"
+)
+
+// The remaining LinkBench operations: delete_link, update_link, get_link.
+// Same latching discipline as the rest of the package: trx-sys mutex,
+// buffer-pool stripe latch per page, row-lock stripe for the row, log mutex
+// for writes.
+
+// DeleteLink removes the first edge id1→id2, reporting whether it existed.
+func (db *DB) DeleteLink(id1, id2 uint64, rng *xrand.SplitMix64) bool {
+	id1 %= uint64(len(db.nodes))
+	db.beginTrx()
+	db.bufferFetch(mix(id1), rng)
+	rl := db.rowLocks[mix(id1)%rowLockStripes]
+	rl.Lock()
+	n := &db.nodes[id1]
+	found := false
+	for i := range n.links {
+		if n.links[i].id2 == id2 {
+			n.links = append(n.links[:i], n.links[i+1:]...)
+			found = true
+			break
+		}
+	}
+	cycles.Wait(130)
+	rl.Unlock()
+	if found {
+		db.logWrite()
+	}
+	db.commits.Add(1)
+	return found
+}
+
+// UpdateLink rewrites the payload of edge id1→id2, reporting whether it
+// existed.
+func (db *DB) UpdateLink(id1, id2 uint64, data uint32, rng *xrand.SplitMix64) bool {
+	id1 %= uint64(len(db.nodes))
+	db.beginTrx()
+	db.bufferFetch(mix(id1), rng)
+	rl := db.rowLocks[mix(id1)%rowLockStripes]
+	rl.Lock()
+	n := &db.nodes[id1]
+	found := false
+	for i := range n.links {
+		if n.links[i].id2 == id2 {
+			n.links[i].data = data
+			found = true
+			break
+		}
+	}
+	cycles.Wait(120)
+	rl.Unlock()
+	if found {
+		db.logWrite()
+	}
+	db.commits.Add(1)
+	return found
+}
+
+// GetLink returns the payload of edge id1→id2.
+func (db *DB) GetLink(id1, id2 uint64, rng *xrand.SplitMix64) (uint32, bool) {
+	id1 %= uint64(len(db.nodes))
+	db.beginTrx()
+	db.bufferFetch(mix(id1), rng)
+	rl := db.rowLocks[mix(id1)%rowLockStripes]
+	rl.Lock()
+	defer rl.Unlock()
+	n := &db.nodes[id1]
+	for i := range n.links {
+		if n.links[i].id2 == id2 {
+			cycles.Wait(90)
+			db.commits.Add(1)
+			return n.links[i].data, true
+		}
+	}
+	cycles.Wait(90)
+	db.commits.Add(1)
+	return 0, false
+}
+
+// NodeDegreeHistogram scans every node under the dictionary mutex — the
+// kind of administrative full-scan that serializes against DDL in InnoDB.
+func (db *DB) NodeDegreeHistogram(rng *xrand.SplitMix64) map[int]int {
+	db.dictLock.Lock()
+	defer db.dictLock.Unlock()
+	hist := make(map[int]int)
+	for i := range db.nodes {
+		rl := db.rowLocks[mix(uint64(i))%rowLockStripes]
+		rl.Lock()
+		d := len(db.nodes[i].links)
+		rl.Unlock()
+		hist[d]++
+	}
+	db.commits.Add(1)
+	return hist
+}

@@ -1,0 +1,87 @@
+package minisql
+
+import (
+	"sync"
+	"testing"
+
+	"gls/internal/apps/appsync"
+	"gls/internal/xrand"
+	"gls/locks"
+)
+
+func TestLinkCRUD(t *testing.T) {
+	p := appsync.NewRaw(locks.Mutex)
+	db := smallDB(p, MEM)
+	rng := xrand.NewSplitMix64(9)
+
+	db.AddLink(1, 100, rng)
+	db.AddLink(1, 200, rng)
+
+	if d, ok := db.GetLink(1, 100, rng); !ok || d != 100 {
+		t.Fatalf("GetLink = %d,%v", d, ok)
+	}
+	if !db.UpdateLink(1, 100, 777, rng) {
+		t.Fatal("UpdateLink on existing edge failed")
+	}
+	if d, _ := db.GetLink(1, 100, rng); d != 777 {
+		t.Fatalf("payload after update = %d", d)
+	}
+	if db.UpdateLink(1, 999, 1, rng) {
+		t.Fatal("UpdateLink on missing edge succeeded")
+	}
+	if !db.DeleteLink(1, 100, rng) {
+		t.Fatal("DeleteLink failed")
+	}
+	if _, ok := db.GetLink(1, 100, rng); ok {
+		t.Fatal("deleted edge still readable")
+	}
+	if db.DeleteLink(1, 100, rng) {
+		t.Fatal("double DeleteLink succeeded")
+	}
+	if n := db.GetLinkList(1, rng); n != 1 {
+		t.Fatalf("remaining links = %d, want 1", n)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	p := appsync.NewRaw(locks.Ticket)
+	db := smallDB(p, MEM)
+	rng := xrand.NewSplitMix64(10)
+	db.AddLink(3, 1, rng)
+	db.AddLink(3, 2, rng)
+	db.AddLink(5, 1, rng)
+	hist := db.NodeDegreeHistogram(rng)
+	if hist[2] != 1 {
+		t.Fatalf("hist[2] = %d, want 1 (node 3)", hist[2])
+	}
+	if hist[1] != 1 {
+		t.Fatalf("hist[1] = %d, want 1 (node 5)", hist[1])
+	}
+	if hist[0] != len(db.nodes)-2 {
+		t.Fatalf("hist[0] = %d, want %d", hist[0], len(db.nodes)-2)
+	}
+}
+
+func TestLinkOpsConcurrent(t *testing.T) {
+	p := appsync.NewRaw(locks.MCS)
+	db := smallDB(p, MEM)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.NewSplitMix64(seed)
+			for i := uint64(0); i < 500; i++ {
+				id2 := seed*10_000 + i
+				db.AddLink(7, id2, rng)
+				db.UpdateLink(7, id2, uint32(i), rng)
+				db.DeleteLink(7, id2, rng)
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	rng := xrand.NewSplitMix64(99)
+	if n := db.GetLinkList(7, rng); n != 0 {
+		t.Fatalf("links remaining after balanced add/delete = %d", n)
+	}
+}

@@ -1,0 +1,82 @@
+// Package backoff implements the waiting policies used by the spinlocks.
+//
+// The paper's locks busy-wait with a CPU pause loop; on the Go runtime a
+// waiter that never yields can starve the lock holder outright when runnable
+// goroutines outnumber GOMAXPROCS (and always does on a single-P runtime).
+// Every spin policy here therefore escalates to runtime.Gosched, which keeps
+// the algorithms live on any GOMAXPROCS while preserving the paper's
+// spin-first behaviour when there are spare hardware contexts.
+package backoff
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// pauseUnit is the length of the smallest busy pause, in dependent ALU
+// operations. It stands in for a handful of x86 PAUSE instructions.
+const pauseUnit = 32
+
+// maxPauseRounds bounds exponential pause growth: 2^maxPauseRounds units.
+const maxPauseRounds = 8
+
+// spinRoundsBeforeYield is how many escalating pause rounds a waiter burns
+// before it starts yielding its context between probes.
+const spinRoundsBeforeYield = 6
+
+// Pause busy-spins for n pause units without yielding.
+func Pause(n uint32) {
+	acc := pauseSink.Load()
+	for i := uint32(0); i < n*pauseUnit; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	pauseSink.Store(acc)
+}
+
+// pauseSink defeats dead-code elimination of Pause loops. The value is never
+// read for meaning; it is atomic only so concurrent pauses stay within the
+// memory model.
+var pauseSink atomic.Uint64
+
+// Spinner is a per-acquisition wait policy: escalating busy pauses first,
+// then yield-and-pause rounds. The zero value is ready to use.
+type Spinner struct {
+	round      uint32
+	singleProc bool
+	probed     bool
+}
+
+// Spin performs one wait step and returns. Callers invoke it between probes
+// of the lock word.
+func (s *Spinner) Spin() {
+	if !s.probed {
+		s.probed = true
+		s.singleProc = runtime.GOMAXPROCS(0) == 1
+	}
+	if s.singleProc {
+		// Spinning cannot possibly help: the holder needs this P to run.
+		runtime.Gosched()
+		return
+	}
+	if s.round < spinRoundsBeforeYield {
+		Pause(1 << min(s.round, maxPauseRounds))
+		s.round++
+		return
+	}
+	runtime.Gosched()
+	Pause(1 << maxPauseRounds)
+	if s.round < 1<<30 {
+		s.round++
+	}
+}
+
+// Rounds reports how many wait steps this spinner has performed. The ticket
+// lock uses it to implement proportional backoff on top.
+func (s *Spinner) Rounds() uint32 { return s.round }
+
+// Reset rewinds the policy for reuse on a new acquisition.
+func (s *Spinner) Reset() { s.round = 0 }
+
+// Yield unconditionally gives up the processor once. Blocking locks use it
+// during their pre-park spin phase.
+func Yield() { runtime.Gosched() }

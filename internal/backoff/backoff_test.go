@@ -1,0 +1,60 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinnerProgresses(t *testing.T) {
+	var s Spinner
+	for i := 0; i < 100; i++ {
+		s.Spin()
+	}
+	if s.Rounds() == 0 && !s.singleProc {
+		t.Fatal("spinner never advanced its round counter")
+	}
+}
+
+func TestSpinnerReset(t *testing.T) {
+	var s Spinner
+	for i := 0; i < 10; i++ {
+		s.Spin()
+	}
+	s.Reset()
+	if s.Rounds() != 0 {
+		t.Fatalf("Rounds after Reset = %d, want 0", s.Rounds())
+	}
+}
+
+func TestSpinnerDoesNotStallSingleProc(t *testing.T) {
+	// Even a long spin sequence must complete quickly because the policy
+	// yields rather than burning the sole processor.
+	var s Spinner
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10_000; i++ {
+			s.Spin()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("10k spin steps did not finish in 10s")
+	}
+}
+
+func TestPauseBounded(t *testing.T) {
+	start := time.Now()
+	Pause(1 << maxPauseRounds)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("maximum pause burned more than 100ms")
+	}
+}
+
+func BenchmarkSpinStep(b *testing.B) {
+	var s Spinner
+	for i := 0; i < b.N; i++ {
+		s.Spin()
+	}
+}

@@ -1,0 +1,149 @@
+package emastats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEMASeedsWithFirstValue(t *testing.T) {
+	e := NewEMA(0.5)
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first observation not used as seed: %v", e.Value())
+	}
+	if !e.Seeded() {
+		t.Fatal("Seeded false after Add")
+	}
+}
+
+func TestEMAConvergesToConstant(t *testing.T) {
+	e := NewEMA(0.25)
+	e.Add(0)
+	for i := 0; i < 200; i++ {
+		e.Add(8)
+	}
+	if math.Abs(e.Value()-8) > 1e-6 {
+		t.Fatalf("EMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEMASmoothing(t *testing.T) {
+	e := NewEMA(0.5)
+	e.Add(0)
+	e.Add(10)
+	if e.Value() != 5 {
+		t.Fatalf("EMA(0.5) after 0,10 = %v, want 5", e.Value())
+	}
+}
+
+func TestEMAStaysWithinObservedBounds(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEMA(0.3)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			e.Add(x)
+			if e.Value() < lo-1e-9 || e.Value() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMAReset(t *testing.T) {
+	e := NewEMA(0.5)
+	e.Add(3)
+	e.Reset()
+	if e.Seeded() || e.Value() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestNewEMAPanicsOnBadWeight(t *testing.T) {
+	for _, w := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEMA(%v) did not panic", w)
+				}
+			}()
+			NewEMA(w)
+		}()
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{5, 1, 9, 3} {
+		s.Add(x)
+	}
+	if s.Count() != 4 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 4.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Sum() != 18 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(2 * time.Microsecond)
+	if s.Mean() != 2000 {
+		t.Fatalf("AddDuration mean = %v ns, want 2000", s.Mean())
+	}
+}
+
+func TestSummaryMergeEquivalentToSequential(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		var all, left, right Summary
+		for _, x := range a {
+			all.Add(float64(x))
+			left.Add(float64(x))
+		}
+		for _, x := range b {
+			all.Add(float64(x))
+			right.Add(float64(x))
+		}
+		left.Merge(right)
+		return left.Count() == all.Count() &&
+			left.Min() == all.Min() &&
+			left.Max() == all.Max() &&
+			math.Abs(left.Sum()-all.Sum()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryReset(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset did not clear count")
+	}
+}

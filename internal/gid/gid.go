@@ -1,0 +1,57 @@
+// Package gid derives a stable identifier for the calling goroutine.
+//
+// The paper's GLS tracks lock owners and waiting threads by pthread id
+// (§4.2). Go deliberately hides goroutine identity, so this package recovers
+// the id printed in runtime stack headers ("goroutine 42 [running]:"). The
+// parse costs on the order of a microsecond, which is why the hot paths of
+// the library never call it: only the debug/profiler modes and the implicit
+// lock-cache (which amortises it through a registry) do.
+package gid
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// ID is a goroutine identifier. IDs are unique among live goroutines and are
+// not reused while the goroutine runs, which is all owner tracking needs.
+type ID uint64
+
+// None is the zero ID; no real goroutine has it (runtime ids start at 1).
+const None ID = 0
+
+// Get returns the current goroutine's id by parsing the runtime stack
+// header. It never fails: a malformed header (which would indicate a runtime
+// change) yields None, and callers treat None as "identity unavailable".
+func Get() ID {
+	buf := stackBufPool.Get().(*[64]byte)
+	defer stackBufPool.Put(buf)
+	n := runtime.Stack(buf[:], false)
+	return parseHeader(buf[:n])
+}
+
+var stackBufPool = sync.Pool{
+	New: func() any { return new([64]byte) },
+}
+
+// parseHeader extracts the numeric id from a "goroutine N [" stack header.
+func parseHeader(b []byte) ID {
+	const prefix = "goroutine "
+	if len(b) < len(prefix) || string(b[:len(prefix)]) != prefix {
+		return None
+	}
+	b = b[len(prefix):]
+	end := 0
+	for end < len(b) && b[end] >= '0' && b[end] <= '9' {
+		end++
+	}
+	if end == 0 {
+		return None
+	}
+	id, err := strconv.ParseUint(string(b[:end]), 10, 64)
+	if err != nil {
+		return None
+	}
+	return ID(id)
+}

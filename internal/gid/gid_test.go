@@ -1,0 +1,71 @@
+package gid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetNonZero(t *testing.T) {
+	if id := Get(); id == None {
+		t.Fatal("Get returned None for a live goroutine")
+	}
+}
+
+func TestGetStableWithinGoroutine(t *testing.T) {
+	a, b := Get(), Get()
+	if a != b {
+		t.Fatalf("id changed within one goroutine: %d then %d", a, b)
+	}
+}
+
+func TestGetDistinctAcrossGoroutines(t *testing.T) {
+	const n = 32
+	ids := make(chan ID, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids <- Get()
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[ID]bool, n+1)
+	seen[Get()] = true
+	for id := range ids {
+		if id == None {
+			t.Fatal("goroutine got None id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate live goroutine id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseHeader(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ID
+	}{
+		{"goroutine 1 [running]:", 1},
+		{"goroutine 4711 [select]:", 4711},
+		{"goroutine 18446744073709551615 [x]:", 18446744073709551615},
+		{"goroutine  [running]:", None},
+		{"gorout", None},
+		{"", None},
+		{"goroutine abc [running]:", None},
+	}
+	for _, c := range cases {
+		if got := parseHeader([]byte(c.in)); got != c.want {
+			t.Errorf("parseHeader(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Get()
+	}
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"gls/internal/sysmon"
+	"gls/locks"
+)
+
+func TestRunCountsOps(t *testing.T) {
+	cfg := Config{Threads: 2, Locks: 1, Duration: 50 * time.Millisecond, Seed: 1}
+	res := Run(cfg, NewAlgorithmFactory(locks.Ticket))
+	if res.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if len(res.PerThread) != 2 {
+		t.Fatalf("PerThread len = %d", len(res.PerThread))
+	}
+	var sum uint64
+	for _, c := range res.PerThread {
+		sum += c
+	}
+	if sum != res.Ops {
+		t.Fatalf("PerThread sum %d != Ops %d", sum, res.Ops)
+	}
+	if res.Throughput() <= 0 || res.Mops() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res := Run(Config{Duration: 20 * time.Millisecond}, NewAlgorithmFactory(locks.TAS))
+	if res.Ops == 0 {
+		t.Fatal("defaulted config did nothing")
+	}
+}
+
+func TestRunMultipleLocksZipf(t *testing.T) {
+	cfg := Config{
+		Threads: 2, Locks: 8, ZipfAlpha: 0.9,
+		Duration: 50 * time.Millisecond, Seed: 7,
+	}
+	res := Run(cfg, NewAlgorithmFactory(locks.Ticket))
+	if res.Ops == 0 {
+		t.Fatal("zipf run did nothing")
+	}
+}
+
+func TestRunMutualExclusionThroughHarness(t *testing.T) {
+	// FuncLocker wrapping an unprotected counter behind one ticket lock:
+	// harness traffic must not lose updates.
+	counter := 0
+	acquired := uint64(0)
+	l := locks.NewTicket()
+	locker := FuncLocker{
+		AcquireFn: func(int) { l.Lock(); counter++ },
+		ReleaseFn: func(int) { acquired++; l.Unlock() },
+	}
+	cfg := Config{Threads: 4, Locks: 1, Duration: 50 * time.Millisecond}
+	res := Run(cfg, func(int) Locker { return locker })
+	if uint64(counter) != res.Ops {
+		t.Fatalf("counter %d != ops %d", counter, res.Ops)
+	}
+}
+
+func TestRunMedianPicksMiddle(t *testing.T) {
+	cfg := Config{Threads: 1, Locks: 1, Duration: 10 * time.Millisecond}
+	res := RunMedian(cfg, NewAlgorithmFactory(locks.TAS), 3)
+	if res.Ops == 0 {
+		t.Fatal("median run empty")
+	}
+}
+
+func TestRunWithBackgroundSpinnersAndMonitor(t *testing.T) {
+	mon := sysmon.New(sysmon.Options{DisableProbes: true})
+	cfg := Config{
+		Threads: 2, Locks: 1, Duration: 30 * time.Millisecond,
+		BackgroundSpinners: 4, Monitor: mon,
+	}
+	res := Run(cfg, NewAlgorithmFactory(locks.Mutex))
+	if res.Ops == 0 {
+		t.Fatal("no ops under multiprogramming")
+	}
+	if got := mon.Hint(); got != 0 {
+		t.Fatalf("monitor hint not restored: %d", got)
+	}
+}
+
+func TestRunPhasesCarriesLockAcrossPhases(t *testing.T) {
+	calls := 0
+	factory := func(n int) Locker {
+		calls++
+		return NewAlgorithmFactory(locks.Ticket)(n)
+	}
+	phases := []Phase{
+		{Threads: 1, CSCycles: 100, Duration: 10 * time.Millisecond},
+		{Threads: 2, CSCycles: 200, Duration: 10 * time.Millisecond},
+	}
+	out := RunPhases(phases, 1, factory, Config{Seed: 3})
+	if len(out) != 2 {
+		t.Fatalf("phases results = %d", len(out))
+	}
+	if calls != 1 {
+		t.Fatalf("factory called %d times, want 1 (locks persist)", calls)
+	}
+	for i, r := range out {
+		if r.Ops == 0 {
+			t.Fatalf("phase %d produced no ops", i)
+		}
+	}
+}
+
+func TestMeasureLatency(t *testing.T) {
+	res := MeasureLatency(4, 2000, NewAlgorithmFactory(locks.Ticket), 5)
+	if res.Lock <= 0 || res.Unlock <= 0 {
+		t.Fatalf("non-positive latency: %+v", res)
+	}
+	if res.Lock > time.Millisecond {
+		t.Fatalf("implausible single-thread lock latency %v", res.Lock)
+	}
+}
+
+func TestCSDurationAffectsThroughput(t *testing.T) {
+	short := Run(Config{Threads: 1, Locks: 1, CSCycles: 100, Duration: 40 * time.Millisecond},
+		NewAlgorithmFactory(locks.Ticket))
+	long := Run(Config{Threads: 1, Locks: 1, CSCycles: 50000, Duration: 40 * time.Millisecond},
+		NewAlgorithmFactory(locks.Ticket))
+	if long.Throughput() >= short.Throughput() {
+		t.Fatalf("50000-cycle CS (%.0f ops/s) not slower than 100-cycle CS (%.0f ops/s)",
+			long.Throughput(), short.Throughput())
+	}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gls/locks"
+)
+
+// TestZipfSkewConcentratesLoad: under zipf selection the hottest lock must
+// receive far more traffic than the coldest — the property Figure 9's
+// "some locks are more contended than others" depends on.
+func TestZipfSkewConcentratesLoad(t *testing.T) {
+	const nLocks = 8
+	var mu sync.Mutex
+	hits := make([]uint64, nLocks)
+	base := NewAlgorithmFactory(locks.Ticket)
+	counting := func(n int) Locker {
+		inner := base(n)
+		return FuncLocker{
+			AcquireFn: func(i int) {
+				inner.Acquire(i)
+				mu.Lock()
+				hits[i]++
+				mu.Unlock()
+			},
+			ReleaseFn: inner.Release,
+		}
+	}
+	Run(Config{
+		Threads: 2, Locks: nLocks, ZipfAlpha: 0.9,
+		Duration: 60 * time.Millisecond, Seed: 99,
+	}, counting)
+
+	var total, hottest uint64
+	for _, h := range hits {
+		total += h
+		if h > hottest {
+			hottest = h
+		}
+	}
+	if total == 0 {
+		t.Fatal("no operations recorded")
+	}
+	share := float64(hits[0]) / float64(total)
+	// Paper: the hottest lock serves 34% of requests under zipf 0.9 over 8.
+	if share < 0.25 || share > 0.45 {
+		t.Fatalf("hottest-lock share = %.2f, want ~0.34", share)
+	}
+	if hits[0] != hottest {
+		t.Fatalf("lock 0 (%d hits) is not the hottest (%d)", hits[0], hottest)
+	}
+	if hits[nLocks-1] >= hits[0] {
+		t.Fatal("coldest lock saw as much traffic as the hottest")
+	}
+}
+
+// TestUniformSelectionBalanced: without skew, traffic spreads roughly
+// evenly.
+func TestUniformSelectionBalanced(t *testing.T) {
+	const nLocks = 4
+	var mu sync.Mutex
+	hits := make([]uint64, nLocks)
+	base := NewAlgorithmFactory(locks.Ticket)
+	counting := func(n int) Locker {
+		inner := base(n)
+		return FuncLocker{
+			AcquireFn: func(i int) {
+				inner.Acquire(i)
+				mu.Lock()
+				hits[i]++
+				mu.Unlock()
+			},
+			ReleaseFn: inner.Release,
+		}
+	}
+	Run(Config{
+		Threads: 2, Locks: nLocks,
+		Duration: 60 * time.Millisecond, Seed: 3,
+	}, counting)
+	var total uint64
+	for _, h := range hits {
+		total += h
+	}
+	if total == 0 {
+		t.Fatal("no operations recorded")
+	}
+	for i, h := range hits {
+		share := float64(h) / float64(total)
+		if share < 0.15 || share > 0.35 {
+			t.Fatalf("lock %d share = %.2f, want ~0.25", i, share)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package pad
+
+import "testing"
+
+func TestPadTo(t *testing.T) {
+	cases := []struct {
+		size uintptr
+		want uintptr
+	}{
+		{0, 0},
+		{1, 63},
+		{4, 60},
+		{63, 1},
+		{64, 0},
+		{65, 63},
+		{128, 0},
+		{130, 62},
+	}
+	for _, c := range cases {
+		if got := PadTo(c.size); got != c.want {
+			t.Errorf("PadTo(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestPadToAlwaysAligns(t *testing.T) {
+	for size := uintptr(0); size < 4*CacheLineSize; size++ {
+		total := size + PadTo(size)
+		if total%CacheLineSize != 0 {
+			t.Fatalf("size %d + PadTo = %d, not line aligned", size, total)
+		}
+		if PadTo(size) >= CacheLineSize {
+			t.Fatalf("PadTo(%d) = %d, exceeds a full line", size, PadTo(size))
+		}
+	}
+}
+
+func TestLineSize(t *testing.T) {
+	var l Line
+	if len(l) != CacheLineSize {
+		t.Fatalf("Line is %d bytes, want %d", len(l), CacheLineSize)
+	}
+}

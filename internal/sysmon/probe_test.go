@@ -1,0 +1,70 @@
+package sysmon
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketMid(t *testing.T) {
+	buckets := []float64{0, 0.001, 0.01, 1e9} // last bucket open-ended-ish
+	if got := bucketMid(buckets, 0); got != 0.0005 {
+		t.Fatalf("bucketMid[0] = %v, want 0.0005", got)
+	}
+	if got := bucketMid(buckets, 1); got != 0.0055 {
+		t.Fatalf("bucketMid[1] = %v, want 0.0055", got)
+	}
+	// The open-ended boundary is clamped to 100ms.
+	if got := bucketMid(buckets, 2); got != (0.01+0.1)/2 {
+		t.Fatalf("bucketMid[2] = %v, want clamp to (0.01+0.1)/2", got)
+	}
+	// Negative lower bounds (the histogram's first bucket) clamp to 0.
+	neg := []float64{-1, 0.002}
+	if got := bucketMid(neg, 0); got != 0.001 {
+		t.Fatalf("bucketMid(neg) = %v, want 0.001", got)
+	}
+}
+
+func TestSchedLatencyMeanDelta(t *testing.T) {
+	m := New(Options{})
+	// First read establishes the baseline histogram.
+	m.schedLatencyMean()
+	// Generate scheduling events.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 2000; i++ {
+			ch := make(chan struct{}, 1)
+			ch <- struct{}{}
+			<-ch
+		}
+		close(done)
+	}()
+	<-done
+	time.Sleep(5 * time.Millisecond)
+	mean, ok := m.schedLatencyMean()
+	if ok && (mean < 0 || mean > time.Minute) {
+		t.Fatalf("implausible scheduling latency mean %v", mean)
+	}
+	// ok == false is acceptable (no new events recorded between reads on a
+	// quiet runtime); the probe must simply not lie.
+}
+
+func TestMonitorStopFreezesFlag(t *testing.T) {
+	m := New(Options{Interval: time.Millisecond, DisableProbes: true})
+	m.Start()
+	m.SetHint(1 << 20)
+	deadline := time.After(10 * time.Second)
+	for !m.Multiprogrammed() {
+		select {
+		case <-deadline:
+			t.Fatal("flag never set")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	m.Stop()
+	m.SetHint(0)
+	time.Sleep(10 * time.Millisecond)
+	if !m.Multiprogrammed() {
+		t.Fatal("flag changed after Stop")
+	}
+}

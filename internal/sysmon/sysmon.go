@@ -1,0 +1,319 @@
+// Package sysmon detects multiprogramming — more runnable tasks than
+// hardware contexts — for GLK's mutex mode.
+//
+// The paper spawns one background thread on the first GLK invocation, shared
+// by every GLK lock in the process, that wakes ~every 100 µs and "checks
+// whether there is oversubscription of threads to hardware contexts at the
+// system level" (§3). It also damps flapping: "we detect and avoid
+// consecutive transitions from mutex to spinlocks, by exponentially
+// increasing the number of consecutive rounds with no oversubscription
+// required to switch away from mutex".
+//
+// Go substitution (see DESIGN.md): "hardware contexts" is GOMAXPROCS and
+// "running tasks" is estimated from two probes plus an optional explicit
+// hint:
+//
+//   - the runtime's scheduling-latency histogram (runtime/metrics
+//     "/sched/latencies:seconds"): when runnable goroutines outnumber Ps,
+//     time-to-schedule jumps from microseconds to milliseconds;
+//   - timer slippage: the monitor's own wakeups arrive late when every P is
+//     busy;
+//   - Hint/AddHint: benchmarks and applications that know their CPU-bound
+//     goroutine census report it directly, exactly as the paper's monitor
+//     reads the OS run queue.
+package sysmon
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Options.
+const (
+	// DefaultInterval is the monitor's wake-up period. The paper uses
+	// ~100 µs; Go timers on a loaded single-P runtime cannot hold that
+	// cadence reliably, so the default is 1 ms (adaptation periods are
+	// thousands of critical sections, so the flag is still fresh).
+	DefaultInterval = time.Millisecond
+
+	// DefaultLatencyThreshold is the mean scheduling latency above which the
+	// system is considered oversubscribed.
+	DefaultLatencyThreshold = 500 * time.Microsecond
+
+	// DefaultSlippageFactor: a wakeup arriving later than
+	// interval*factor counts as an oversubscription signal.
+	DefaultSlippageFactor = 8
+)
+
+// schedLatencyMetric is the runtime/metrics histogram of time goroutines
+// spend runnable before running.
+const schedLatencyMetric = "/sched/latencies:seconds"
+
+// Options configures a Monitor. The zero value selects every default.
+type Options struct {
+	// Interval between load samples. 0 means DefaultInterval.
+	Interval time.Duration
+	// LatencyThreshold for the scheduling-latency probe. 0 means
+	// DefaultLatencyThreshold.
+	LatencyThreshold time.Duration
+	// DisableProbes turns off both runtime probes, leaving only explicit
+	// hints. Deterministic benchmarks use this.
+	DisableProbes bool
+}
+
+// Monitor is the background load watcher shared by GLK locks.
+//
+// A Monitor must be created with New and started with Start; Stop waits for
+// the background goroutine to exit. Multiprogrammed is safe to call from any
+// goroutine at any time.
+type Monitor struct {
+	opts Options
+
+	multiprog atomic.Bool
+	hint      atomic.Int64 // externally reported CPU-bound goroutines
+
+	// Anti-flapping state, owned by the monitor goroutine.
+	calmRounds    uint64 // consecutive rounds without oversubscription
+	requiredCalm  uint64 // rounds needed before clearing the flag
+	everMultiprog bool   // whether the flag has been set at least once
+
+	// Scheduling-latency probe state, owned by the monitor goroutine.
+	prevHist *metrics.Float64Histogram
+
+	mu      sync.Mutex // guards start/stop transitions
+	stop    chan struct{}
+	stopped chan struct{}
+	running bool
+
+	// rounds counts monitor iterations; tests use it to await progress.
+	rounds atomic.Uint64
+}
+
+// minRequiredCalm is the initial number of calm rounds needed to clear the
+// multiprogramming flag; each relapse doubles the requirement (paper §3).
+const minRequiredCalm = 4
+
+// maxRequiredCalm caps the exponential growth so a long-running process can
+// still leave mutex mode within a bounded time.
+const maxRequiredCalm = 1 << 12
+
+// New returns a stopped monitor with the given options.
+func New(opts Options) *Monitor {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.LatencyThreshold <= 0 {
+		opts.LatencyThreshold = DefaultLatencyThreshold
+	}
+	return &Monitor{
+		opts:         opts,
+		requiredCalm: minRequiredCalm,
+	}
+}
+
+// Start launches the background sampling goroutine. Starting a running
+// monitor is a no-op.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.stopped = make(chan struct{})
+	m.running = true
+	go m.run(m.stop, m.stopped)
+}
+
+// Stop terminates the background goroutine and waits for it. Stopping a
+// stopped monitor is a no-op. The multiprogramming flag freezes at its last
+// value.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	stop, stopped := m.stop, m.stopped
+	m.running = false
+	m.mu.Unlock()
+	close(stop)
+	<-stopped
+}
+
+// Multiprogrammed reports whether the system currently has more runnable
+// tasks than hardware contexts. GLK locks consult this at adaptation points.
+func (m *Monitor) Multiprogrammed() bool { return m.multiprog.Load() }
+
+// SetHint declares the number of CPU-bound goroutines the caller knows
+// about (for example, benchmark worker counts). The monitor compares the
+// hint against GOMAXPROCS in addition to its probes. Negative values are
+// treated as zero.
+func (m *Monitor) SetHint(runnable int) {
+	if runnable < 0 {
+		runnable = 0
+	}
+	m.hint.Store(int64(runnable))
+}
+
+// AddHint adjusts the hint by delta; workers call AddHint(1)/AddHint(-1)
+// around CPU-bound phases.
+func (m *Monitor) AddHint(delta int) {
+	if v := m.hint.Add(int64(delta)); v < 0 {
+		m.hint.Store(0)
+	}
+}
+
+// Hint returns the current externally-reported runnable count.
+func (m *Monitor) Hint() int { return int(m.hint.Load()) }
+
+// Rounds reports how many sampling iterations have completed.
+func (m *Monitor) Rounds() uint64 { return m.rounds.Load() }
+
+// run is the monitor loop.
+func (m *Monitor) run(stop <-chan struct{}, stopped chan<- struct{}) {
+	defer close(stopped)
+	ticker := time.NewTicker(m.opts.Interval)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			over := m.sample(now.Sub(last))
+			last = now
+			m.update(over)
+			m.rounds.Add(1)
+		}
+	}
+}
+
+// sample runs the probes once and reports whether any signals
+// oversubscription. elapsed is the time since the previous sample.
+func (m *Monitor) sample(elapsed time.Duration) bool {
+	// Probe 0: explicit census.
+	if int(m.hint.Load()) > runtime.GOMAXPROCS(0) {
+		return true
+	}
+	if m.opts.DisableProbes {
+		return false
+	}
+	// Probe 1: our own wakeup slipped badly.
+	if elapsed > m.opts.Interval*DefaultSlippageFactor {
+		return true
+	}
+	// Probe 2: scheduling latencies.
+	if mean, ok := m.schedLatencyMean(); ok && mean > m.opts.LatencyThreshold {
+		return true
+	}
+	return false
+}
+
+// update applies one probe verdict to the flag with the paper's
+// anti-flapping policy.
+func (m *Monitor) update(over bool) {
+	if over {
+		if !m.multiprog.Load() {
+			if m.everMultiprog && m.calmRounds < m.requiredCalm*4 {
+				// Relapsed shortly after clearing: demand exponentially more
+				// calm next time.
+				if m.requiredCalm < maxRequiredCalm {
+					m.requiredCalm *= 2
+				}
+			}
+			m.multiprog.Store(true)
+			m.everMultiprog = true
+		}
+		m.calmRounds = 0
+		return
+	}
+	m.calmRounds++
+	if m.multiprog.Load() && m.calmRounds >= m.requiredCalm {
+		m.multiprog.Store(false)
+		m.calmRounds = 0
+	}
+}
+
+// schedLatencyMean reads the runtime scheduling-latency histogram and
+// returns the mean latency of goroutine scheduling events since the last
+// call. ok is false when no new events were recorded.
+func (m *Monitor) schedLatencyMean() (time.Duration, bool) {
+	samples := []metrics.Sample{{Name: schedLatencyMetric}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0, false
+	}
+	hist := samples[0].Value.Float64Histogram()
+	if hist == nil {
+		return 0, false
+	}
+	defer func() { m.prevHist = hist }()
+
+	var count uint64
+	var sum float64
+	for i, c := range hist.Counts {
+		prev := uint64(0)
+		if m.prevHist != nil && i < len(m.prevHist.Counts) {
+			prev = m.prevHist.Counts[i]
+		}
+		d := c - prev
+		if d == 0 {
+			continue
+		}
+		count += d
+		sum += float64(d) * bucketMid(hist.Buckets, i)
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return time.Duration(sum / float64(count) * float64(time.Second)), true
+}
+
+// bucketMid returns a representative latency (seconds) for histogram bucket
+// i, clamping the open-ended boundary buckets.
+func bucketMid(buckets []float64, i int) float64 {
+	lo, hi := buckets[i], buckets[i+1]
+	const clamp = 0.1 // 100ms stands in for +Inf
+	if hi > clamp {
+		hi = clamp
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return (lo + hi) / 2
+}
+
+// Shared returns the process-wide monitor, starting it on first use — the
+// paper's "on the first GLK invocation, a background thread is spawned...
+// shared across all GLK objects in a system". StopShared exists for tests
+// and orderly shutdown.
+func Shared() *Monitor {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if shared == nil {
+		shared = New(Options{})
+		shared.Start()
+	}
+	return shared
+}
+
+// StopShared stops and discards the process-wide monitor, if any. The next
+// Shared call creates a fresh one.
+func StopShared() {
+	sharedMu.Lock()
+	s := shared
+	shared = nil
+	sharedMu.Unlock()
+	if s != nil {
+		s.Stop()
+	}
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   *Monitor
+)

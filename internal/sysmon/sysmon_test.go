@@ -1,0 +1,180 @@
+package sysmon
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitRounds blocks until the monitor has completed n more rounds.
+func waitRounds(t *testing.T, m *Monitor, n uint64) {
+	t.Helper()
+	start := m.Rounds()
+	deadline := time.After(30 * time.Second)
+	for m.Rounds() < start+n {
+		select {
+		case <-deadline:
+			t.Fatal("monitor made no progress")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestHintTriggersMultiprog(t *testing.T) {
+	m := New(Options{Interval: time.Millisecond, DisableProbes: true})
+	m.Start()
+	defer m.Stop()
+
+	if m.Multiprogrammed() {
+		t.Fatal("fresh monitor reports multiprogramming")
+	}
+	m.SetHint(runtime.GOMAXPROCS(0) + 10)
+	waitRounds(t, m, 3)
+	if !m.Multiprogrammed() {
+		t.Fatal("hint above GOMAXPROCS did not set the flag")
+	}
+}
+
+func TestFlagClearsAfterCalmRounds(t *testing.T) {
+	m := New(Options{Interval: time.Millisecond, DisableProbes: true})
+	m.Start()
+	defer m.Stop()
+
+	m.SetHint(runtime.GOMAXPROCS(0) + 10)
+	waitRounds(t, m, 3)
+	if !m.Multiprogrammed() {
+		t.Fatal("flag never set")
+	}
+	m.SetHint(0)
+	waitRounds(t, m, minRequiredCalm+3)
+	if m.Multiprogrammed() {
+		t.Fatal("flag did not clear after calm rounds")
+	}
+}
+
+func TestExponentialCalmOnRelapse(t *testing.T) {
+	// Drive the update state machine directly (no goroutine) to verify the
+	// doubling policy deterministically.
+	m := New(Options{DisableProbes: true})
+
+	m.update(true)
+	if !m.Multiprogrammed() {
+		t.Fatal("flag not set")
+	}
+	first := m.requiredCalm
+	for i := uint64(0); i < first; i++ {
+		m.update(false)
+	}
+	if m.Multiprogrammed() {
+		t.Fatal("flag not cleared after requiredCalm rounds")
+	}
+	// Immediate relapse must double the requirement.
+	m.update(true)
+	if m.requiredCalm != first*2 {
+		t.Fatalf("requiredCalm after relapse = %d, want %d", m.requiredCalm, first*2)
+	}
+	// And the cap must hold.
+	for i := 0; i < 64; i++ {
+		m.update(true)
+		for j := uint64(0); j < maxRequiredCalm+1; j++ {
+			m.update(false)
+		}
+		m.update(true)
+	}
+	if m.requiredCalm > maxRequiredCalm {
+		t.Fatalf("requiredCalm = %d exceeds cap %d", m.requiredCalm, maxRequiredCalm)
+	}
+}
+
+func TestLongCalmDoesNotDouble(t *testing.T) {
+	m := New(Options{DisableProbes: true})
+	m.update(true)
+	for i := uint64(0); i < m.requiredCalm; i++ {
+		m.update(false)
+	}
+	first := m.requiredCalm
+	// Stay calm for a long time before relapsing: no doubling.
+	for i := uint64(0); i < first*8; i++ {
+		m.update(false)
+	}
+	m.update(true)
+	if m.requiredCalm != first {
+		t.Fatalf("requiredCalm after long calm = %d, want unchanged %d", m.requiredCalm, first)
+	}
+}
+
+func TestAddHintNeverNegative(t *testing.T) {
+	m := New(Options{DisableProbes: true})
+	m.AddHint(-5)
+	if got := m.Hint(); got != 0 {
+		t.Fatalf("Hint = %d, want 0", got)
+	}
+	m.AddHint(3)
+	m.AddHint(-1)
+	if got := m.Hint(); got != 2 {
+		t.Fatalf("Hint = %d, want 2", got)
+	}
+	m.SetHint(-7)
+	if got := m.Hint(); got != 0 {
+		t.Fatalf("SetHint(-7) then Hint = %d, want 0", got)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	m := New(Options{Interval: time.Millisecond})
+	m.Stop() // stopping a never-started monitor is fine
+	m.Start()
+	m.Start() // double start is a no-op
+	waitRounds(t, m, 1)
+	m.Stop()
+	m.Stop() // double stop is fine
+}
+
+func TestSchedLatencyProbeDetectsSpinners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load-generation test")
+	}
+	m := New(Options{Interval: time.Millisecond, LatencyThreshold: 200 * time.Microsecond})
+	m.Start()
+	defer m.Stop()
+
+	// Saturate the scheduler: several CPU-bound goroutines per P.
+	stop := make(chan struct{})
+	var stopped atomic.Bool
+	defer func() { stopped.Store(true); close(stop) }()
+	for i := 0; i < runtime.GOMAXPROCS(0)*6; i++ {
+		go func() {
+			for !stopped.Load() {
+				for j := 0; j < 1000; j++ {
+					_ = j * j
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	deadline := time.After(20 * time.Second)
+	for !m.Multiprogrammed() {
+		select {
+		case <-deadline:
+			t.Skip("probe did not fire; scheduler too quiet on this machine")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestSharedSingleton(t *testing.T) {
+	defer StopShared()
+	a := Shared()
+	b := Shared()
+	if a != b {
+		t.Fatal("Shared returned distinct monitors")
+	}
+	StopShared()
+	c := Shared()
+	if c == a {
+		t.Fatal("StopShared did not discard the old monitor")
+	}
+}

@@ -1,0 +1,113 @@
+package locks
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCohortBasic(t *testing.T) {
+	l := NewCohort()
+	if l.Locked() {
+		t.Fatal("fresh lock reports Locked")
+	}
+	l.Lock()
+	if !l.Locked() {
+		t.Fatal("held lock reports free")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("released lock reports Locked")
+	}
+}
+
+func TestCohortNDefaultsToOne(t *testing.T) {
+	l := NewCohortN(0)
+	if len(l.nodes) != 1 {
+		t.Fatalf("NewCohortN(0) made %d cohorts", len(l.nodes))
+	}
+	l.Lock()
+	l.Unlock()
+}
+
+func TestCohortTryLock(t *testing.T) {
+	l := NewCohort()
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	res := make(chan bool)
+	go func() { res <- l.TryLock() }()
+	if <-res {
+		t.Fatal("TryLock succeeded while held")
+	}
+	l.Unlock()
+}
+
+func TestCohortGlobalReleasedAfterUnlock(t *testing.T) {
+	// After a plain unlock with no local waiters, no cohort may still own
+	// the global lock.
+	l := NewCohortN(2)
+	l.Lock()
+	l.Unlock()
+	for i := range l.nodes {
+		if l.nodes[i].globalOwned {
+			t.Fatalf("cohort %d still owns the global lock after release", i)
+		}
+	}
+	if l.global.Locked() {
+		t.Fatal("global ticket lock still held")
+	}
+}
+
+func TestCohortMutualExclusionManyCohorts(t *testing.T) {
+	for _, cohorts := range []int{1, 2, 4, 8} {
+		cohorts := cohorts
+		t.Run(map[bool]string{true: "single", false: "multi"}[cohorts == 1], func(t *testing.T) {
+			l := NewCohortN(cohorts)
+			counter := 0
+			var wg sync.WaitGroup
+			const goroutines, iters = 8, 2000
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						l.Lock()
+						counter++
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != goroutines*iters {
+				t.Fatalf("cohorts=%d: counter = %d, want %d", cohorts, counter, goroutines*iters)
+			}
+		})
+	}
+}
+
+func TestCohortPassBudgetBounded(t *testing.T) {
+	// White-box: the passes counter never exceeds the budget.
+	l := NewCohortN(1)
+	var wg sync.WaitGroup
+	bad := false
+	var mu sync.Mutex
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				l.Lock()
+				if l.nodes[0].passes > MaxCohortPasses {
+					mu.Lock()
+					bad = true
+					mu.Unlock()
+				}
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if bad {
+		t.Fatal("pass budget exceeded")
+	}
+}

@@ -1,0 +1,132 @@
+// Package locks implements the lock algorithms studied in "Locking Made
+// Easy" (Middleware'16): the simple spinlocks TAS, TTAS and TICKET, the
+// queue-based spinlocks MCS and CLH, and a lightweight blocking MUTEX. It
+// also provides the TTAS-based reader-writer lock the paper substitutes for
+// pthread rwlocks in its systems evaluation (§5.2, footnote 7), plus the
+// two extensions the paper names: a time-published MCS lock (MCSTP) and a
+// lock-cohorting composition (Cohort).
+//
+// All locks are padded to cache-line size "for fairness and for avoiding
+// false cache-line sharing" (paper §3.2), expose the same Lock/TryLock/
+// Unlock contract, and — unlike sync.Mutex — require Unlock to be called by
+// the goroutine that acquired the lock (the queue-based algorithms stash
+// their queue node in holder-only state).
+//
+// Spin loops escalate to runtime.Gosched so the algorithms remain live when
+// runnable goroutines outnumber GOMAXPROCS; see package backoff.
+package locks
+
+import "fmt"
+
+// Lock is the mutual-exclusion contract shared by every algorithm in this
+// package and by glk.Lock.
+type Lock interface {
+	// Lock acquires the lock, waiting as long as necessary.
+	Lock()
+	// TryLock acquires the lock without waiting and reports success.
+	TryLock() bool
+	// Unlock releases the lock. It must be called by the goroutine that
+	// acquired it, exactly once per acquisition.
+	Unlock()
+}
+
+// QueueSampler is implemented by locks that can report the instantaneous
+// number of goroutines at the lock (holder included). GLK samples it to
+// measure contention (paper §3, "Measuring Contention").
+//
+// For MCS the sample traverses the waiter queue and is only safe when called
+// by the current lock holder; GLK samples immediately after acquiring.
+type QueueSampler interface {
+	QueueLen() int
+}
+
+// Algorithm identifies a lock implementation.
+type Algorithm int
+
+// The algorithms offered by the explicit GLS interface. The first six are
+// the paper's Table 1; MCSTP and Cohort are the extensions the paper points
+// at (§3.2 footnote 4 and §3 "Including Additional Lock Algorithms"),
+// deployed through the same interface — "GLS ... allows for easy deployment
+// of more algorithms".
+const (
+	TAS Algorithm = iota + 1
+	TTAS
+	Ticket
+	MCS
+	CLH
+	Mutex
+	MCSTP
+	Cohort
+)
+
+var algorithmNames = map[Algorithm]string{
+	TAS:    "tas",
+	TTAS:   "ttas",
+	Ticket: "ticket",
+	MCS:    "mcs",
+	CLH:    "clh",
+	Mutex:  "mutex",
+	MCSTP:  "mcstp",
+	Cohort: "cohort",
+}
+
+// String returns the lower-case name the paper uses for the algorithm.
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Valid reports whether a names a known algorithm.
+func (a Algorithm) Valid() bool {
+	_, ok := algorithmNames[a]
+	return ok
+}
+
+// ParseAlgorithm converts a name from String back to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for a, s := range algorithmNames {
+		if s == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("locks: unknown algorithm %q", name)
+}
+
+// Algorithms lists every supported algorithm in declaration order.
+func Algorithms() []Algorithm {
+	return []Algorithm{TAS, TTAS, Ticket, MCS, CLH, Mutex, MCSTP, Cohort}
+}
+
+// Table1Algorithms lists exactly the paper's Table-1 set, without the
+// extension algorithms.
+func Table1Algorithms() []Algorithm {
+	return []Algorithm{TAS, TTAS, Ticket, MCS, CLH, Mutex}
+}
+
+// New constructs a fresh, unlocked lock of the given algorithm. It panics on
+// an unknown algorithm: the set is closed and the argument is always a
+// compile-time constant in correct programs.
+func New(a Algorithm) Lock {
+	switch a {
+	case TAS:
+		return NewTAS()
+	case TTAS:
+		return NewTTAS()
+	case Ticket:
+		return NewTicket()
+	case MCS:
+		return NewMCS()
+	case CLH:
+		return NewCLH()
+	case Mutex:
+		return NewMutex()
+	case MCSTP:
+		return NewMCSTP()
+	case Cohort:
+		return NewCohort()
+	default:
+		panic(fmt.Sprintf("locks: New(%v): unknown algorithm", a))
+	}
+}

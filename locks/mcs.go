@@ -1,0 +1,134 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gls/internal/backoff"
+	"gls/internal/pad"
+)
+
+// mcsNode is one waiter's queue entry. Each waiter spins on its own node's
+// locked flag, so waiting generates no traffic on shared lines.
+type mcsNode struct {
+	next   atomic.Pointer[mcsNode]
+	locked atomic.Uint32
+	// 8 (next) + 4 (locked) = 12 bytes of fields; pad to one line.
+	_ [pad.CacheLineSize - 12]byte
+}
+
+// MCSLock is the Mellor-Crummey/Scott queue lock GLK uses in its
+// high-contention mode. Waiters form an explicit queue; each spins on a
+// private flag and is handed the lock by its predecessor, giving FIFO order
+// and per-waiter-local spinning (paper §2).
+//
+// Go adaptation: the paper's C code keeps the queue node in the thread's
+// stack frame across lock/unlock. Go goroutines cannot pass stack state
+// through a Lock/Unlock interface, so the node is recorded in a holder-only
+// field of the lock between Lock and Unlock — safe because only the holder
+// touches it — and nodes are recycled through a pool.
+type MCSLock struct {
+	tail atomic.Pointer[mcsNode]
+	// holder is the current owner's queue node. Guarded by the lock itself:
+	// written by the owner right after acquiring and read by the owner in
+	// Unlock.
+	holder *mcsNode
+	_      [pad.CacheLineSize - 16]byte
+}
+
+var (
+	_ Lock         = (*MCSLock)(nil)
+	_ QueueSampler = (*MCSLock)(nil)
+)
+
+// mcsNodePool recycles queue nodes across all MCS locks. A node enters the
+// pool only once no other goroutine can reference it (see Unlock), so reuse
+// cannot ABA the queue: enqueueing always goes through an unconditional swap
+// or a CAS-from-nil.
+var mcsNodePool = sync.Pool{
+	New: func() any { return new(mcsNode) },
+}
+
+// NewMCS returns an unlocked MCS lock.
+func NewMCS() *MCSLock { return new(MCSLock) }
+
+// Lock appends the caller to the waiter queue and spins on its private node
+// until its predecessor hands over the lock.
+func (l *MCSLock) Lock() {
+	n := mcsNodePool.Get().(*mcsNode)
+	n.next.Store(nil)
+	n.locked.Store(1)
+	pred := l.tail.Swap(n)
+	if pred != nil {
+		pred.next.Store(n)
+		var s backoff.Spinner
+		for n.locked.Load() != 0 {
+			s.Spin()
+		}
+	}
+	l.holder = n
+}
+
+// TryLock acquires the lock only if the queue is empty.
+func (l *MCSLock) TryLock() bool {
+	n := mcsNodePool.Get().(*mcsNode)
+	n.next.Store(nil)
+	n.locked.Store(1)
+	if l.tail.CompareAndSwap(nil, n) {
+		l.holder = n
+		return true
+	}
+	mcsNodePool.Put(n)
+	return false
+}
+
+// Unlock hands the lock to the successor, if any, and recycles the owner's
+// node.
+func (l *MCSLock) Unlock() {
+	n := l.holder
+	l.holder = nil
+	if n.next.Load() == nil {
+		// No visible successor: try to reset the queue to empty.
+		if l.tail.CompareAndSwap(n, nil) {
+			mcsNodePool.Put(n)
+			return
+		}
+		// A successor swapped itself in but has not linked yet; wait for
+		// the link. The window is two instructions long, so plain yielding
+		// suffices.
+		for n.next.Load() == nil {
+			backoff.Yield()
+		}
+	}
+	succ := n.next.Load()
+	succ.locked.Store(0)
+	// After the handoff no goroutine can reach n: the successor spins on its
+	// own node and never re-reads its predecessor.
+	mcsNodePool.Put(n)
+}
+
+// QueueLen counts the nodes from the holder to the tail of the queue:
+// waiters plus one for the holder, zero when free.
+//
+// Per the paper, this traversal "breaks the 'each node is accessed by a
+// single thread' design goal of MCS" and must be infrequent. It is only
+// safe when invoked by the current holder (GLK samples right after
+// acquiring); called on a free lock it returns 0.
+func (l *MCSLock) QueueLen() int {
+	n := l.holder
+	if n == nil {
+		return 0
+	}
+	count := 1
+	for {
+		next := n.next.Load()
+		if next == nil {
+			return count
+		}
+		count++
+		n = next
+	}
+}
+
+// Locked reports whether the lock is currently held (racy; diagnostics only).
+func (l *MCSLock) Locked() bool { return l.tail.Load() != nil }

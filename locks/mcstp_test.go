@@ -1,0 +1,159 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMCSTPBasic(t *testing.T) {
+	l := NewMCSTP()
+	if l.Locked() {
+		t.Fatal("fresh lock reports Locked")
+	}
+	l.Lock()
+	if !l.Locked() {
+		t.Fatal("held lock reports free")
+	}
+	if got := l.QueueLen(); got != 1 {
+		t.Fatalf("QueueLen = %d, want 1", got)
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("released lock reports Locked")
+	}
+	if got := l.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after release = %d", got)
+	}
+}
+
+func TestMCSTPPatienceDefaults(t *testing.T) {
+	if l := NewMCSTPWithPatience(0); l.patience != DefaultTPPatience {
+		t.Fatalf("zero patience not defaulted: %v", l.patience)
+	}
+	if l := NewMCSTPWithPatience(-time.Second); l.patience != DefaultTPPatience {
+		t.Fatal("negative patience not defaulted")
+	}
+	if l := NewMCSTPWithPatience(5 * time.Millisecond); l.patience != 5*time.Millisecond {
+		t.Fatal("custom patience lost")
+	}
+}
+
+func TestMCSTPFreshWaiterGetsHandoff(t *testing.T) {
+	l := NewMCSTP()
+	l.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(acquired)
+		l.Unlock()
+	}()
+	// Let the waiter enqueue and publish.
+	for l.QueueLen() != 2 {
+		runtime.Gosched()
+	}
+	l.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fresh waiter never granted")
+	}
+}
+
+func TestMCSTPSkipsStaleWaiter(t *testing.T) {
+	// Plant a synthetic stale waiter node and verify the releaser abandons
+	// it and reclaims the lock for itself (white-box).
+	l := NewMCSTPWithPatience(time.Millisecond)
+	l.Lock()
+	stale := &tpNode{}
+	stale.state.Store(tpWaiting)
+	stale.published.Store(time.Now().Add(-time.Second).UnixNano())
+	// Link the stale node as the only waiter.
+	if l.tail.Swap(stale) == nil {
+		t.Fatal("holder node missing from tail")
+	}
+	l.holder.next.Store(stale)
+
+	l.Unlock()
+	if got := stale.state.Load(); got != tpFailed {
+		t.Fatalf("stale waiter state = %d, want failed", got)
+	}
+	if l.Skips() != 1 {
+		t.Fatalf("Skips = %d, want 1", l.Skips())
+	}
+	// The queue ended at the stale node, so the lock is free again.
+	if !l.TryLock() {
+		t.Fatal("lock not reclaimable after skipping the whole queue")
+	}
+	l.Unlock()
+}
+
+func TestMCSTPMutualExclusionUnderChurn(t *testing.T) {
+	// Aggressive patience forces frequent skip/re-enqueue cycles; mutual
+	// exclusion must survive them.
+	l := NewMCSTPWithPatience(50 * time.Microsecond)
+	counter := 0
+	var wg sync.WaitGroup
+	const goroutines, iters = 8, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates across skips)", counter, goroutines*iters)
+	}
+}
+
+func TestMCSTPProgressUnderOversubscription(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	// Many CPU-bound goroutines plus lockers: the time-published handoff
+	// must keep completing acquisitions.
+	stopSpin := make(chan struct{})
+	for i := 0; i < runtime.GOMAXPROCS(0)*4; i++ {
+		go func() {
+			for {
+				select {
+				case <-stopSpin:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	defer close(stopSpin)
+
+	l := NewMCSTP()
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					l.Lock()
+					l.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("lockers made no progress under oversubscription")
+	}
+}

@@ -1,0 +1,124 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"gls/internal/backoff"
+	"gls/internal/pad"
+)
+
+// spinBeforePark is how many acquisition attempts a MutexLock makes before
+// parking. "Because the overheads of the OS for blocking and unblocking a
+// thread are high, blocking locks typically employ a busy-waiting period
+// before putting threads to sleep" (paper §2).
+const spinBeforePark = 32
+
+// mutexWaiter is one parked goroutine. The buffered channel lets the
+// releaser signal without blocking.
+type mutexWaiter struct {
+	wake chan struct{}
+	next *mutexWaiter
+}
+
+// MutexLock is the blocking lock GLK uses under multiprogramming. It is the
+// paper's re-implemented MUTEX: "more lightweight than the one in the
+// pthread library, as it does not include the various sanity checks of the
+// latter" — those checks live in GLS debug mode instead (paper §3).
+//
+// Acquisition spins briefly, then parks the goroutine on a FIFO waiter
+// queue; release hands the lock directly to the head waiter. Parking
+// releases the processor to the Go scheduler the same way a futex wait
+// releases a hardware context to the OS.
+type MutexLock struct {
+	state atomic.Uint32 // 0 free, 1 held
+	nwait atomic.Int32  // parked + about-to-park waiters, for QueueLen
+	qlock TASLock       // guards head/tail
+	head  *mutexWaiter
+	tail  *mutexWaiter
+	// 4+4 (counters) + 64 (qlock) + 8+8 (queue) = 88 bytes; pad to 2 lines.
+	_ [2*pad.CacheLineSize - 88]byte
+}
+
+var (
+	_ Lock         = (*MutexLock)(nil)
+	_ QueueSampler = (*MutexLock)(nil)
+)
+
+// NewMutex returns an unlocked blocking lock.
+func NewMutex() *MutexLock { return new(MutexLock) }
+
+// Lock acquires l, parking the goroutine if a short spin phase fails.
+func (l *MutexLock) Lock() {
+	// Busy-waiting phase.
+	for i := 0; i < spinBeforePark; i++ {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		if i >= spinBeforePark/2 {
+			backoff.Yield()
+		} else {
+			backoff.Pause(1 << uint(i%6))
+		}
+	}
+	// Parking phase.
+	w := &mutexWaiter{wake: make(chan struct{}, 1)}
+	l.nwait.Add(1)
+	l.qlock.Lock()
+	// Re-check under the queue lock so an Unlock that ran during the spin
+	// phase cannot strand us: either we get the lock here, or we are on the
+	// queue before any future Unlock scans it.
+	if l.state.CompareAndSwap(0, 1) {
+		l.qlock.Unlock()
+		l.nwait.Add(-1)
+		return
+	}
+	if l.tail == nil {
+		l.head = w
+	} else {
+		l.tail.next = w
+	}
+	l.tail = w
+	l.qlock.Unlock()
+	<-w.wake
+	// Direct handoff: the releaser left state == 1 on our behalf.
+	l.nwait.Add(-1)
+}
+
+// TryLock attempts a single atomic acquisition.
+func (l *MutexLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases l, waking the longest-waiting goroutine if any.
+func (l *MutexLock) Unlock() {
+	l.qlock.Lock()
+	w := l.head
+	if w != nil {
+		l.head = w.next
+		if l.head == nil {
+			l.tail = nil
+		}
+		l.qlock.Unlock()
+		// Ownership passes directly: state stays 1.
+		w.wake <- struct{}{}
+		return
+	}
+	l.state.Store(0)
+	l.qlock.Unlock()
+}
+
+// QueueLen returns the number of goroutines at the lock (parked waiters plus
+// the holder), zero when free.
+func (l *MutexLock) QueueLen() int {
+	n := int(l.nwait.Load())
+	if l.state.Load() != 0 {
+		n++
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Locked reports whether the lock is currently held (racy; diagnostics only).
+func (l *MutexLock) Locked() bool { return l.state.Load() != 0 }

@@ -1,0 +1,71 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// BenchmarkPreemptionAdaptivity is the ablation for the MCS-TP extension:
+// fair queue locks against their time-published variant, with and without
+// CPU-bound background goroutines. The paper's §3.2 footnote 4 motivates
+// MCS-TP exactly here — fair locks hand the lock to preempted waiters under
+// multiprogramming; MCS-TP skips them.
+func BenchmarkPreemptionAdaptivity(b *testing.B) {
+	algos := []struct {
+		name string
+		mk   func() Lock
+	}{
+		{"MCS", func() Lock { return NewMCS() }},
+		{"MCSTP", func() Lock { return NewMCSTP() }},
+		{"Ticket", func() Lock { return NewTicket() }},
+		{"Cohort", func() Lock { return NewCohort() }},
+	}
+	for _, load := range []struct {
+		name     string
+		spinners int
+	}{{"idle", 0}, {"oversubscribed", runtime.GOMAXPROCS(0) * 4}} {
+		for _, a := range algos {
+			b.Run(load.name+"/"+a.name, func(b *testing.B) {
+				stop := make(chan struct{})
+				var spinWG sync.WaitGroup
+				for i := 0; i < load.spinners; i++ {
+					spinWG.Add(1)
+					go func() {
+						defer spinWG.Done()
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+								runtime.Gosched()
+							}
+						}
+					}()
+				}
+				l := a.mk()
+				const threads = 4
+				per := b.N/threads + 1
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for t := 0; t < threads; t++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							l.Lock()
+							l.Unlock()
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(stop)
+				spinWG.Wait()
+				if tp, ok := l.(*MCSTPLock); ok {
+					b.ReportMetric(float64(tp.Skips())/float64(b.N), "skips/op")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"gls/internal/backoff"
+	"gls/internal/pad"
+)
+
+// TicketLock is the fair spinlock GLK uses in its low-contention mode.
+//
+// A thread acquires by atomically taking the next ticket and spinning until
+// the owner counter reaches it; unlock increments owner. The lock is FIFO by
+// construction, and — crucially for GLK — `ticket − owner` exposes how many
+// threads are at the lock (waiters plus the current holder) for free (paper
+// §3, "Measuring Contention").
+type TicketLock struct {
+	// next and owner share a cache line deliberately: an acquisition touches
+	// both and the paper's ticket lock is a single-line lock.
+	next  atomic.Uint32
+	owner atomic.Uint32
+	_     [pad.CacheLineSize - 8]byte
+}
+
+var (
+	_ Lock         = (*TicketLock)(nil)
+	_ QueueSampler = (*TicketLock)(nil)
+)
+
+// NewTicket returns an unlocked ticket lock.
+func NewTicket() *TicketLock { return new(TicketLock) }
+
+// Lock takes the next ticket and waits for its turn. Waiting is
+// proportional: a thread whose ticket is far from the owner backs off
+// longer, which reduces traffic on the shared line.
+func (l *TicketLock) Lock() {
+	t := l.next.Add(1) - 1
+	var s backoff.Spinner
+	for {
+		o := l.owner.Load()
+		if o == t {
+			return
+		}
+		// Proportional component: one pause per waiter ahead of us, on top
+		// of the escalating policy.
+		dist := t - o
+		if dist > 16 {
+			dist = 16
+		}
+		backoff.Pause(dist)
+		s.Spin()
+	}
+}
+
+// TryLock acquires the lock only if no one holds or awaits it.
+func (l *TicketLock) TryLock() bool {
+	o := l.owner.Load()
+	if l.next.Load() != o {
+		return false
+	}
+	return l.next.CompareAndSwap(o, o+1)
+}
+
+// Unlock grants the lock to the next ticket holder.
+//
+// Unlocking a free ticket lock corrupts it (the owner counter overtakes
+// next) — exactly the failure mode the paper's §4.2 debugging catches; GLS
+// in debug mode reports it instead of corrupting the lock.
+func (l *TicketLock) Unlock() {
+	l.owner.Add(1)
+}
+
+// QueueLen returns the number of threads at the lock: waiters plus one for
+// the holder, zero when free.
+func (l *TicketLock) QueueLen() int {
+	n := l.next.Load()
+	o := l.owner.Load()
+	return int(int32(n - o))
+}
+
+// Locked reports whether the lock is currently held (racy; diagnostics only).
+func (l *TicketLock) Locked() bool { return l.QueueLen() > 0 }

@@ -1,0 +1,115 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestTicketQueueLenFree(t *testing.T) {
+	l := NewTicket()
+	if got := l.QueueLen(); got != 0 {
+		t.Fatalf("free lock QueueLen = %d, want 0", got)
+	}
+	if l.Locked() {
+		t.Fatal("free lock reports Locked")
+	}
+}
+
+func TestTicketQueueLenCountsHolderAndWaiters(t *testing.T) {
+	l := NewTicket()
+	l.Lock()
+	if got := l.QueueLen(); got != 1 {
+		t.Fatalf("held lock QueueLen = %d, want 1 (the holder)", got)
+	}
+
+	// Add two waiters; their tickets bump next immediately even though they
+	// have not acquired yet.
+	var wg sync.WaitGroup
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			l.Lock()
+			l.Unlock()
+		}()
+	}
+	<-started
+	<-started
+	// Wait until both waiters have taken tickets.
+	for l.QueueLen() != 3 {
+		runtime.Gosched()
+	}
+	l.Unlock()
+	wg.Wait()
+	if got := l.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after all released = %d, want 0", got)
+	}
+}
+
+// TestTicketFIFO verifies FIFO ordering by construction: ticket values are
+// served strictly in order.
+func TestTicketFIFO(t *testing.T) {
+	l := NewTicket()
+	const n = 100
+	order := make([]uint32, 0, n)
+	var mu sync.Mutex
+
+	l.Lock() // hold so all workers queue up
+	var wg sync.WaitGroup
+	ready := make(chan uint32, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// White-box: replicate Lock to learn our ticket number.
+			ticket := l.next.Add(1) - 1
+			ready <- ticket
+			for l.owner.Load() != ticket {
+				runtime.Gosched()
+			}
+			mu.Lock()
+			order = append(order, ticket)
+			mu.Unlock()
+			l.owner.Add(1) // unlock
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	l.Unlock()
+	wg.Wait()
+
+	for i, tk := range order {
+		if tk != uint32(i+1) { // ticket 0 was the test's own hold
+			t.Fatalf("service order[%d] = ticket %d, want %d", i, tk, i+1)
+		}
+	}
+}
+
+func TestTicketTryLockWhileQueued(t *testing.T) {
+	l := NewTicket()
+	l.Lock()
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded while held")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on free lock")
+	}
+	l.Unlock()
+}
+
+func TestTicketUnlockOfFreeGoesNegative(t *testing.T) {
+	// Unlocking a free ticket lock corrupts it (paper §4.2: "Releasing an
+	// already free lock can ... break some lock algorithms (e.g., TICKET)").
+	// QueueLen exposes the corruption as a negative queue, which GLS debug
+	// mode relies on being observable.
+	l := NewTicket()
+	l.Unlock()
+	if got := l.QueueLen(); got != -1 {
+		t.Fatalf("QueueLen after spurious unlock = %d, want -1", got)
+	}
+}

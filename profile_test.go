@@ -1,0 +1,181 @@
+package gls
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gls/internal/cycles"
+	"gls/locks"
+)
+
+func TestProfileDisabledReturnsNil(t *testing.T) {
+	s := newTestService(t, Options{})
+	s.Lock(1)
+	s.Unlock(1)
+	if s.ProfileStats() != nil {
+		t.Fatal("ProfileStats non-nil without Options.Profile")
+	}
+	var b strings.Builder
+	if err := s.ProfileReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "profiling disabled") {
+		t.Fatalf("report: %q", b.String())
+	}
+}
+
+func TestProfileRecordsPerLockStats(t *testing.T) {
+	s := newTestService(t, Options{Profile: true})
+	const busy, idle = 1, 2
+	for i := 0; i < 50; i++ {
+		s.Lock(busy)
+		cycles.Wait(20000) // a measurable critical section (~8µs)
+		s.Unlock(busy)
+	}
+	for i := 0; i < 10; i++ {
+		s.Lock(idle)
+		s.Unlock(idle)
+	}
+	stats := s.ProfileStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d locks, want 2", len(stats))
+	}
+	byKey := map[uint64]ProfileStat{}
+	for _, st := range stats {
+		byKey[st.Key] = st
+	}
+	b := byKey[busy]
+	if b.Acquisitions != 50 {
+		t.Fatalf("busy Acquisitions = %d, want 50", b.Acquisitions)
+	}
+	if b.AvgQueue < 0.99 {
+		t.Fatalf("busy AvgQueue = %.2f, want >= 1 (holder counted)", b.AvgQueue)
+	}
+	if b.AvgCSLatency <= 0 {
+		t.Fatal("busy AvgCSLatency not recorded")
+	}
+	if byKey[idle].Acquisitions != 10 {
+		t.Fatalf("idle Acquisitions = %d, want 10", byKey[idle].Acquisitions)
+	}
+	// The busy lock's critical sections are much longer than the idle ones.
+	if b.AvgCSLatency < byKey[idle].AvgCSLatency {
+		t.Fatalf("busy cs-lat %v < idle cs-lat %v", b.AvgCSLatency, byKey[idle].AvgCSLatency)
+	}
+}
+
+func TestProfileQueueReflectsContention(t *testing.T) {
+	s := newTestService(t, Options{Profile: true})
+	const key = 3
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				s.Lock(key)
+				// Yield while holding so other goroutines pile up behind the
+				// lock even on a single-P runtime.
+				runtime.Gosched()
+				s.Unlock(key)
+			}
+		}()
+	}
+	wg.Wait()
+	stats := s.ProfileStats()
+	if len(stats) != 1 {
+		t.Fatalf("stats for %d locks, want 1", len(stats))
+	}
+	if stats[0].AvgQueue <= 1.05 {
+		t.Fatalf("contended AvgQueue = %.2f, want > 1", stats[0].AvgQueue)
+	}
+}
+
+func TestProfileSortedByQueue(t *testing.T) {
+	s := newTestService(t, Options{Profile: true})
+	// Contended lock 7, uncontended lock 8.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				s.Lock(7)
+				cycles.Wait(1000)
+				s.Unlock(7)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Lock(8)
+	s.Unlock(8)
+	stats := s.ProfileStats()
+	if len(stats) != 2 || stats[0].Key != 7 {
+		t.Fatalf("stats not sorted by queue: %+v", stats)
+	}
+}
+
+func TestProfileReportFormat(t *testing.T) {
+	s := newTestService(t, Options{Profile: true})
+	s.Lock(0x42)
+	time.Sleep(time.Millisecond)
+	s.Unlock(0x42)
+	s.LockWith(locks.MCS, 0x43)
+	s.UnlockWith(locks.MCS, 0x43)
+	var b strings.Builder
+	if err := s.ProfileReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "[GLS] queue:") || !strings.Contains(out, "| l-lat:") || !strings.Contains(out, "| cs-lat:") {
+		t.Fatalf("report format:\n%s", out)
+	}
+	if !strings.Contains(out, "0x42:glk") {
+		t.Fatalf("missing glk lock line:\n%s", out)
+	}
+	if !strings.Contains(out, "0x43:mcs") {
+		t.Fatalf("missing mcs lock line:\n%s", out)
+	}
+}
+
+func TestProfileTryLockFailureNotCounted(t *testing.T) {
+	s := newTestService(t, Options{Profile: true})
+	s.Lock(5)
+	done := make(chan bool)
+	go func() { done <- s.TryLock(5) }()
+	if <-done {
+		t.Fatal("TryLock succeeded on held lock")
+	}
+	s.Unlock(5)
+	stats := s.ProfileStats()
+	if len(stats) != 1 || stats[0].Acquisitions != 1 {
+		t.Fatalf("failed TryLock affected acquisition count: %+v", stats)
+	}
+}
+
+func TestProfileWithDebugCombined(t *testing.T) {
+	s, c := newDebugService(t, Options{Profile: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Lock(1)
+				s.Unlock(1)
+			}
+		}()
+	}
+	wg.Wait()
+	stats := s.ProfileStats()
+	if len(stats) != 1 || stats[0].Acquisitions != 800 {
+		t.Fatalf("debug+profile stats: %+v", stats)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.issues) != 0 {
+		t.Fatalf("clean debug+profile run produced issues: %v", c.issues)
+	}
+}

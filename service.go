@@ -1,0 +1,322 @@
+package gls
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"gls/glk"
+	"gls/internal/clht"
+	"gls/internal/gid"
+	"gls/locks"
+)
+
+// algoGLK is the internal algorithm tag for GLK-managed entries. It is
+// deliberately not a valid locks.Algorithm: GLK is the default, not one of
+// the explicit Table-1 algorithms.
+const algoGLK locks.Algorithm = 0
+
+// Options configures a Service. The zero value is a production
+// configuration: GLK locks, no debugging, no profiling.
+type Options struct {
+	// SizeHint is the expected number of distinct lock keys.
+	SizeHint int
+
+	// GLK tunes the adaptive locks created by Lock/TryLock. nil selects
+	// glk defaults (which include the shared multiprogramming monitor).
+	GLK *glk.Config
+
+	// Debug enables the §4.2 checks: uninitialized locks, double locking,
+	// releasing a free lock, releasing a lock with the wrong owner, and
+	// background deadlock detection. Debug mode costs roughly an order of
+	// magnitude per operation (goroutine-id recovery plus bookkeeping); the
+	// paper reports up to 4× for its C implementation.
+	Debug bool
+
+	// StrictInit requires keys to be introduced with InitLock before use,
+	// mirroring programs that overload pthread_mutex_init. Only meaningful
+	// with Debug: locking an unknown key then reports an uninitialized-lock
+	// issue (the lock still works — GLS auto-creates it).
+	StrictInit bool
+
+	// OnIssue receives every detected issue. nil writes the paper-style
+	// "[GLS]WARNING>" report to Stderr. Callbacks must be fast and must not
+	// call back into the Service.
+	OnIssue func(Issue)
+
+	// DeadlockCheckInterval is how often the background detector scans for
+	// wait cycles (default 250ms; the check itself is cheap and only runs
+	// over currently-blocked goroutines).
+	DeadlockCheckInterval time.Duration
+
+	// DeadlockWaitThreshold is how long a goroutine must be blocked before
+	// the detector considers it (paper: "more than a second"; default 1s).
+	DeadlockWaitThreshold time.Duration
+
+	// Profile enables per-lock statistics (§4.3): average queuing,
+	// acquisition latency, and critical-section duration. Read the results
+	// with ProfileReport or ProfileStats.
+	Profile bool
+
+	// Stderr overrides the default issue report destination (tests).
+	Stderr io.Writer
+}
+
+// entry is the lock object a key maps to, plus its debug/profile metadata.
+type entry struct {
+	key  uint64
+	algo locks.Algorithm // algoGLK or the explicit algorithm
+	lock locks.Lock
+
+	// owner is the goroutine currently holding the lock (0 = free).
+	// Maintained only in debug mode.
+	owner atomic.Uint64
+
+	// present counts goroutines at this entry (waiting or holding).
+	// Maintained only in profile mode.
+	present atomic.Int32
+
+	// Profile accumulators. Sums are atomics because ProfileReport reads
+	// them while workers write; csStart is holder-only state.
+	profCount   atomic.Uint64
+	profLockLat atomic.Uint64 // nanoseconds
+	profCSLat   atomic.Uint64 // nanoseconds
+	profQueue   atomic.Uint64
+	csStart     time.Time
+}
+
+// Service is one GLS instance: a concurrent key→lock table plus the
+// optional debug and profile machinery. Create with New; a Service must not
+// be copied.
+type Service struct {
+	opts  Options
+	table *clht.Table[entry]
+	dbg   *debugState // nil unless Options.Debug
+
+	issueCounts [issueKindCount]atomic.Uint64
+	closed      atomic.Bool
+}
+
+// New returns a ready Service (gls_init).
+func New(opts Options) *Service {
+	if opts.DeadlockCheckInterval <= 0 {
+		opts.DeadlockCheckInterval = 250 * time.Millisecond
+	}
+	if opts.DeadlockWaitThreshold <= 0 {
+		opts.DeadlockWaitThreshold = time.Second
+	}
+	if opts.Stderr == nil {
+		opts.Stderr = os.Stderr
+	}
+	s := &Service{
+		opts:  opts,
+		table: clht.New[entry](opts.SizeHint),
+	}
+	if opts.Debug {
+		s.dbg = newDebugState()
+		s.dbg.start(s)
+	}
+	return s
+}
+
+// Close stops the service's background machinery (gls_destroy). The lock
+// table remains usable — Close only halts deadlock detection — but callers
+// should treat the service as finished.
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.dbg != nil {
+		s.dbg.stopWatchdog()
+	}
+}
+
+// newEntry builds the lock object for a key on first use.
+func (s *Service) newEntry(key uint64, algo locks.Algorithm) func() *entry {
+	return func() *entry {
+		e := &entry{key: key, algo: algo}
+		if algo == algoGLK {
+			e.lock = glk.New(s.opts.GLK)
+		} else {
+			e.lock = locks.New(algo)
+		}
+		return e
+	}
+}
+
+// entryFor maps a key to its lock entry, creating it with algo on first
+// use. The boolean reports whether this call created the entry.
+func (s *Service) entryFor(key uint64, algo locks.Algorithm) (*entry, bool) {
+	if key == 0 {
+		panic("gls: zero key (the paper's NULL) is not a valid lock")
+	}
+	return s.table.GetOrInsert(key, s.newEntry(key, algo))
+}
+
+// Lock acquires the GLK lock for key, creating it on first use (gls_lock).
+func (s *Service) Lock(key uint64) {
+	s.lockWith(algoGLK, key)
+}
+
+// LockWith acquires key's lock using the explicit algorithm a — the paper's
+// gls_A_lock family. If the key is already mapped, the existing lock is
+// used regardless of a (debug mode reports the mismatch).
+func (s *Service) LockWith(a locks.Algorithm, key uint64) {
+	if !a.Valid() {
+		panic(fmt.Sprintf("gls: LockWith(%v): unknown algorithm", a))
+	}
+	s.lockWith(a, key)
+}
+
+func (s *Service) lockWith(a locks.Algorithm, key uint64) {
+	e, created := s.entryFor(key, a)
+	if s.dbg != nil {
+		me := gid.Get()
+		s.debugPreLock(me, e, created, a)
+		s.debugLock(me, e)
+		return
+	}
+	if s.opts.Profile {
+		s.profileLock(e)
+		return
+	}
+	e.lock.Lock()
+}
+
+// TryLock try-acquires the GLK lock for key (gls_trylock).
+func (s *Service) TryLock(key uint64) bool {
+	return s.tryLockWith(algoGLK, key)
+}
+
+// TryLockWith try-acquires key's lock with the explicit algorithm a.
+func (s *Service) TryLockWith(a locks.Algorithm, key uint64) bool {
+	if !a.Valid() {
+		panic(fmt.Sprintf("gls: TryLockWith(%v): unknown algorithm", a))
+	}
+	return s.tryLockWith(a, key)
+}
+
+func (s *Service) tryLockWith(a locks.Algorithm, key uint64) bool {
+	e, created := s.entryFor(key, a)
+	if s.dbg != nil {
+		me := gid.Get()
+		s.debugPreLock(me, e, created, a)
+		return s.debugTryLock(me, e)
+	}
+	if s.opts.Profile {
+		return s.profileTryLock(e)
+	}
+	return e.lock.TryLock()
+}
+
+// Unlock releases the lock for key (gls_unlock). Unlocking a key that was
+// never locked panics in normal mode (there is nothing to release) and is
+// reported as an uninitialized-lock issue in debug mode.
+func (s *Service) Unlock(key uint64) {
+	if key == 0 {
+		panic("gls: zero key (the paper's NULL) is not a valid lock")
+	}
+	e := s.table.Get(key)
+	if s.dbg != nil {
+		s.debugUnlock(key, e)
+		return
+	}
+	if e == nil {
+		panic(fmt.Sprintf("gls: Unlock(%#x): key was never locked", key))
+	}
+	if s.opts.Profile {
+		s.profileUnlock(e)
+		return
+	}
+	e.lock.Unlock()
+}
+
+// UnlockWith releases key's lock; a documents the algorithm the caller
+// believes the key uses (gls_A_unlock). Debug mode reports mismatches.
+func (s *Service) UnlockWith(a locks.Algorithm, key uint64) {
+	if !a.Valid() {
+		panic(fmt.Sprintf("gls: UnlockWith(%v): unknown algorithm", a))
+	}
+	if s.dbg != nil {
+		if e := s.table.Get(key); e != nil && e.algo != a {
+			s.report(Issue{
+				Kind:      IssueAlgorithmMismatch,
+				Key:       key,
+				Goroutine: uint64(gid.Get()),
+				Message:   fmt.Sprintf("unlock as %v but lock is %v", a, algoName(e.algo)),
+			})
+		}
+	}
+	s.Unlock(key)
+}
+
+// InitLock pre-creates the GLK lock for key — the analogue of
+// pthread_mutex_init for programs ported with Options.StrictInit.
+func (s *Service) InitLock(key uint64) {
+	s.InitLockWith(algoGLK, key)
+}
+
+// InitLockWith pre-creates key's lock with an explicit algorithm. Passing
+// an invalid algorithm panics.
+func (s *Service) InitLockWith(a locks.Algorithm, key uint64) {
+	if a != algoGLK && !a.Valid() {
+		panic(fmt.Sprintf("gls: InitLockWith(%v): unknown algorithm", a))
+	}
+	e, _ := s.entryFor(key, a)
+	if s.dbg != nil {
+		s.dbg.markInitialized(e.key)
+	}
+}
+
+// Free removes key's lock object from the service (gls_free). Freeing a
+// held lock is reported in debug mode; the mapping is removed regardless,
+// matching the paper's semantics (the caller owns the key's lifecycle).
+func (s *Service) Free(key uint64) {
+	if key == 0 {
+		return
+	}
+	if s.dbg != nil {
+		if e := s.table.Get(key); e != nil {
+			if owner := e.owner.Load(); owner != 0 {
+				s.report(Issue{
+					Kind:      IssueFreeHeld,
+					Key:       key,
+					Goroutine: uint64(gid.Get()),
+					Owner:     owner,
+					Message:   "freeing a lock that is currently held",
+				})
+			}
+		}
+		s.dbg.forget(key)
+	}
+	s.table.Delete(key)
+}
+
+// Locks returns the number of lock objects currently mapped.
+func (s *Service) Locks() int { return s.table.Len() }
+
+// algoName names an entry's algorithm, including the GLK default.
+func algoName(a locks.Algorithm) string {
+	if a == algoGLK {
+		return "glk"
+	}
+	return a.String()
+}
+
+// GLKStats returns the GLK statistics for key's lock, if the key is mapped
+// to a GLK lock. It supports the paper's transition-tracing workflow
+// ("decide on a pre-determined lock algorithm that is the most suitable for
+// a given lock object", §4.3).
+func (s *Service) GLKStats(key uint64) (glk.Stats, bool) {
+	e := s.table.Get(key)
+	if e == nil || e.algo != algoGLK {
+		return glk.Stats{}, false
+	}
+	l, ok := e.lock.(*glk.Lock)
+	if !ok {
+		return glk.Stats{}, false
+	}
+	return l.Stats(), true
+}

@@ -1,0 +1,165 @@
+package gls
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gls/glk"
+	"gls/locks"
+)
+
+// TestFreeWhileOthersLockSameKeySpace: Free on one key must never disturb
+// locking on other keys, even under churn.
+func TestFreeWhileOthersLockSameKeySpace(t *testing.T) {
+	s := newTestService(t, Options{})
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	// Churner: creates and frees a disjoint key range.
+	go func() {
+		defer churn.Done()
+		k := uint64(10_000)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Lock(k)
+			s.Unlock(k)
+			s.Free(k)
+			k++
+			if k == 20_000 {
+				k = 10_000
+			}
+			runtime.Gosched()
+		}
+	}()
+	// Workers on a stable key.
+	counter := 0
+	var workers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 3000; i++ {
+				s.Lock(7)
+				counter++
+				s.Unlock(7)
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	churn.Wait()
+	if counter != 12000 {
+		t.Fatalf("counter = %d, want 12000", counter)
+	}
+}
+
+// TestFreeThenReuseGetsFreshLock: after Free, the key maps to a brand-new
+// lock object (the old one may still be held by a straggler — the caller
+// owns that hazard, as in the paper).
+func TestFreeThenReuseGetsFreshLock(t *testing.T) {
+	s := newTestService(t, Options{})
+	s.Lock(5)
+	// Freeing a *held* lock then reusing the key must still allow the new
+	// lock to be acquired: the mapping is fresh.
+	s.Free(5)
+	acquired := make(chan struct{})
+	go func() {
+		s.Lock(5)
+		close(acquired)
+		s.Unlock(5)
+	}()
+	<-acquired
+}
+
+// TestHandleBypassesProfiling: handles are the latency path; they do not
+// feed the profiler (documented behaviour).
+func TestHandleBypassesProfiling(t *testing.T) {
+	s := newTestService(t, Options{Profile: true})
+	h := s.NewHandle()
+	h.Lock(3)
+	h.Unlock(3)
+	stats := s.ProfileStats()
+	for _, st := range stats {
+		if st.Key == 3 && st.Acquisitions > 0 {
+			t.Fatal("handle operations appeared in profile stats")
+		}
+	}
+	// Mixing handle and service calls still synchronises correctly.
+	s.Lock(3)
+	s.Unlock(3)
+	if got := len(s.ProfileStats()); got != 1 {
+		t.Fatalf("profile entries = %d, want 1", got)
+	}
+}
+
+// TestExtensionAlgorithmsThroughGLS: the MCSTP and Cohort extensions are
+// first-class citizens of the explicit interface.
+func TestExtensionAlgorithmsThroughGLS(t *testing.T) {
+	s := newTestService(t, Options{})
+	for _, a := range []locks.Algorithm{locks.MCSTP, locks.Cohort} {
+		key := uint64(500 + int(a))
+		var wg sync.WaitGroup
+		counter := 0
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					s.LockWith(a, key)
+					counter++
+					s.UnlockWith(a, key)
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != 4000 {
+			t.Fatalf("%v: counter = %d, want 4000", a, counter)
+		}
+	}
+}
+
+// TestGLKTryLockTriggersAdaptation: adaptation statistics accumulate
+// through the TryLock path too.
+func TestGLKTryLockTriggersAdaptation(t *testing.T) {
+	mon := quietMonitor()
+	l := glk.New(&glk.Config{Monitor: mon, SamplePeriod: 2, AdaptPeriod: 8})
+	for i := 0; i < 100; i++ {
+		if l.TryLock() {
+			l.Unlock()
+		}
+	}
+	if st := l.Stats(); st.Acquired != 100 || st.QueueTotal == 0 {
+		t.Fatalf("TryLock path skipped statistics: %+v", st)
+	}
+}
+
+// TestServiceLocksCountUnderConcurrentCreation: entry creation is
+// exactly-once per key even when many goroutines race on a fresh key space.
+func TestServiceLocksCountUnderConcurrentCreation(t *testing.T) {
+	s := newTestService(t, Options{})
+	const keys = 128
+	var wg sync.WaitGroup
+	var totalOps atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < keys*4; i++ {
+				k := uint64((seed+i)%keys + 1)
+				s.Lock(k)
+				s.Unlock(k)
+				totalOps.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Locks() != keys {
+		t.Fatalf("Locks = %d, want %d (duplicate or lost entries)", s.Locks(), keys)
+	}
+}
