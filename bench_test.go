@@ -6,6 +6,8 @@
 package gls_test
 
 import (
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"testing"
@@ -599,6 +601,125 @@ func BenchmarkFigure14_SQLite(b *testing.B) {
 			}
 		})
 	}
+}
+
+// hotpathGoroutines is the goroutine sweep of the hot-path (line-bounce)
+// benchmark family: 1 → beyond GOMAXPROCS, so the family covers the
+// uncontended, contended, and oversubscribed regimes on any machine. Short
+// mode (CI) trims the sweep to its endpoints so the fixtures stay fast.
+func hotpathGoroutines() []int {
+	p := runtime.GOMAXPROCS(0)
+	if testing.Short() {
+		return []int{1, 2 * p}
+	}
+	set := map[int]bool{1: true, 2: true, 4: true, p: true, 2 * p: true}
+	var out []int
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// hotpathModes are the GLK configurations the line-bounce family compares:
+// the two frozen low-level modes plus the full adaptive lock.
+func hotpathModes(mon *sysmon.Monitor) []struct {
+	name string
+	cfg  *glk.Config
+} {
+	return []struct {
+		name string
+		cfg  *glk.Config
+	}{
+		{"ticket", &glk.Config{Monitor: mon, DisableAdaptation: true}},
+		{"mcs", &glk.Config{Monitor: mon, DisableAdaptation: true, InitialMode: glk.ModeMCS}},
+		{"adaptive", &glk.Config{Monitor: mon}},
+	}
+}
+
+// BenchmarkHotPathGLK — the line-bounce family on a bare GLK lock: one hot
+// lock, empty critical sections, every goroutine hammering the arrival and
+// release path. This is the microbenchmark the §3.2 padding work targets:
+// any word shared between arriving goroutines turns into coherence traffic
+// here.
+func BenchmarkHotPathGLK(b *testing.B) {
+	mon := benchMonitor(b)
+	for _, mode := range hotpathModes(mon) {
+		for _, g := range hotpathGoroutines() {
+			cfg := mode.cfg
+			b.Run(mode.name+"/goroutines="+strconv.Itoa(g), func(b *testing.B) {
+				benchContended(b, func() locks.Lock { return glk.New(cfg) }, g, 0, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkHotPathGLS — the same family through the service: one hot key,
+// so every operation is a clht.Get plus the GLK hot path. Measures the
+// zero-options lookup overhead under contention.
+func BenchmarkHotPathGLS(b *testing.B) {
+	mon := benchMonitor(b)
+	for _, mode := range hotpathModes(mon) {
+		for _, g := range hotpathGoroutines() {
+			cfg := mode.cfg
+			b.Run(mode.name+"/goroutines="+strconv.Itoa(g), func(b *testing.B) {
+				svc := gls.New(gls.Options{GLK: cfg})
+				defer svc.Close()
+				const hotKey = 1
+				svc.Lock(hotKey) // create the entry outside the timed region
+				svc.Unlock(hotKey)
+				var wg sync.WaitGroup
+				per := b.N/g + 1
+				b.ResetTimer()
+				for t := 0; t < g; t++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							svc.Lock(hotKey)
+							svc.Unlock(hotKey)
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkHotPathUncontended — single-goroutine Lock/Unlock latency through
+// each entry point. The acceptance bar for hot-path work: these must not
+// regress while the contended family improves.
+func BenchmarkHotPathUncontended(b *testing.B) {
+	mon := benchMonitor(b)
+	glkCfg := &glk.Config{Monitor: mon}
+	b.Run("glk", func(b *testing.B) {
+		l := glk.New(glkCfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+	b.Run("gls", func(b *testing.B) {
+		svc := gls.New(gls.Options{GLK: glkCfg})
+		defer svc.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.Lock(1)
+			svc.Unlock(1)
+		}
+	})
+	b.Run("handle", func(b *testing.B) {
+		svc := gls.New(gls.Options{GLK: glkCfg})
+		defer svc.Close()
+		h := svc.NewHandle()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Lock(1)
+			h.Unlock(1)
+		}
+	})
 }
 
 // BenchmarkTable1_Interface — the cost of each Table-1 entry point.

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/sysmon"
+)
+
+// The hot-path (line-bounce) family complements the paper figures: instead
+// of reproducing an evaluation plot, it tracks this repository's own
+// arrival/release path over time. One hot lock, empty critical sections,
+// 1 → beyond-GOMAXPROCS goroutines, the two frozen GLK modes plus the
+// adaptive lock, measured both bare (glk) and through the service (gls).
+// The JSON it emits (BENCH_glk_hotpath.json) is the machine-readable perf
+// trajectory future changes are compared against.
+
+// hotpathResult is one measured point of the family.
+type hotpathResult struct {
+	Bench      string  `json:"bench"` // "glk" (bare lock) or "gls" (service, one hot key)
+	Mode       string  `json:"mode"`  // ticket | mcs | adaptive
+	Goroutines int     `json:"goroutines"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// hotpathReport is the file-level JSON schema.
+type hotpathReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	DurationMS  int64           `json:"duration_ms_per_point"`
+	Reps        int             `json:"reps"`
+	Results     []hotpathResult `json:"results"`
+}
+
+// hotpathModes mirrors the bench_test.go family: frozen ticket, frozen mcs,
+// and the full adaptive configuration.
+func hotpathModes(mon *sysmon.Monitor) []struct {
+	name string
+	cfg  *glk.Config
+} {
+	return []struct {
+		name string
+		cfg  *glk.Config
+	}{
+		{"ticket", &glk.Config{Monitor: mon, DisableAdaptation: true}},
+		{"mcs", &glk.Config{Monitor: mon, DisableAdaptation: true, InitialMode: glk.ModeMCS}},
+		{"adaptive", &glk.Config{Monitor: mon}},
+	}
+}
+
+// hotpathSweep is the goroutine axis: powers of two from 1 up to twice
+// GOMAXPROCS, plus GOMAXPROCS itself.
+func hotpathSweep() []int {
+	p := runtime.GOMAXPROCS(0)
+	set := map[int]bool{p: true}
+	for g := 1; g <= 2*p || g <= 4; g *= 2 {
+		set[g] = true
+	}
+	var out []int
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// hotpathMeasure runs lockUnlock pairs from g goroutines for d and returns
+// ops/sec.
+func hotpathMeasure(g int, d time.Duration, lockUnlock func()) float64 {
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for t := 0; t < g; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			local := int64(0)
+			for !stop.Load() {
+				for i := 0; i < 64; i++ {
+					lockUnlock()
+				}
+				local += 64
+			}
+			ops.Add(local)
+		}()
+	}
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	return float64(ops.Load()) / elapsed.Seconds()
+}
+
+// median reports the middle value of a (sorted in place) sample.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// runHotpath measures the full family and writes the JSON report to path
+// ("-" for stdout). It also prints the human-readable table.
+func runHotpath(path string, o opts) error {
+	mon := benchMonitor()
+	defer mon.Stop()
+	report := hotpathReport{
+		GeneratedBy: "glsbench -hotpath",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		DurationMS:  o.duration.Milliseconds(),
+		Reps:        o.reps,
+	}
+	for _, mode := range hotpathModes(mon) {
+		for _, g := range hotpathSweep() {
+			for _, bench := range []string{"glk", "gls"} {
+				var lockUnlock func()
+				var cleanup func()
+				switch bench {
+				case "glk":
+					l := glk.New(mode.cfg)
+					lockUnlock = func() { l.Lock(); l.Unlock() }
+					cleanup = func() {}
+				case "gls":
+					svc := gls.New(gls.Options{GLK: mode.cfg})
+					const hotKey = 1
+					svc.InitLock(hotKey)
+					lockUnlock = func() { svc.Lock(hotKey); svc.Unlock(hotKey) }
+					cleanup = svc.Close
+				}
+				samples := make([]float64, 0, o.reps)
+				for r := 0; r < o.reps; r++ {
+					samples = append(samples, hotpathMeasure(g, o.duration, lockUnlock))
+				}
+				cleanup()
+				opsSec := median(samples)
+				res := hotpathResult{
+					Bench:      bench,
+					Mode:       mode.name,
+					Goroutines: g,
+					NsPerOp:    1e9 / opsSec,
+					OpsPerSec:  opsSec,
+				}
+				report.Results = append(report.Results, res)
+				fmt.Printf("%-4s %-9s goroutines=%-3d %12.0f ops/s  %8.1f ns/op\n",
+					bench, mode.name, g, res.OpsPerSec, res.NsPerOp)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

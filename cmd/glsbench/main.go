@@ -98,6 +98,8 @@ func main() {
 	figs := figSet{}
 	flag.Var(figs, "fig", "figure number to regenerate (repeatable)")
 	all := flag.Bool("all", false, "run every figure")
+	hotpath := flag.String("hotpath", "",
+		"run the hot-path line-bounce family and write the JSON report to this file (\"-\" for stdout)")
 	quick := flag.Bool("quick", false, "short runs for smoke testing")
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per point")
 	reps := flag.Int("reps", 3, "repetitions per point (median reported; paper uses 11)")
@@ -118,14 +120,23 @@ func main() {
 			figs[k] = true
 		}
 	}
-	if len(figs) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all  (figures: %s)\n", knownFigures())
+	if len(figs) == 0 && *hotpath == "" {
+		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE  (figures: %s)\n", knownFigures())
 		os.Exit(2)
 	}
 
 	cycles.Calibrate()
 	fmt.Printf("# glsbench: GOMAXPROCS=%d, nominal frequency %.1f GHz, %v/point, %d rep(s)\n\n",
 		runtime.GOMAXPROCS(0), cycles.FrequencyGHz(), o.duration, o.reps)
+
+	if *hotpath != "" {
+		fmt.Printf("== Hot path: single hot lock, arrival/release line-bounce family ==\n")
+		if err := runHotpath(*hotpath, o); err != nil {
+			fmt.Fprintf(os.Stderr, "glsbench: -hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
 
 	keys := make([]int, 0, len(figs))
 	for k := range figs {

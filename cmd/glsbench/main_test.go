@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -42,6 +45,42 @@ func TestEveryFigureRuns(t *testing.T) {
 				t.Fatalf("figure %d wedged", id)
 			}
 		})
+	}
+}
+
+// TestHotpathRunsAndEmitsJSON smoke-tests the line-bounce family end to
+// end: it must run with tiny parameters and produce a parseable report
+// covering every (bench, mode) pair.
+func TestHotpathRunsAndEmitsJSON(t *testing.T) {
+	// No Short guard: with quickOpts this runs in well under a second, and
+	// the JSON schema is a contract (BENCH_glk_hotpath.json) that CI must
+	// cover.
+	path := filepath.Join(t.TempDir(), "hotpath.json")
+	if err := runHotpath(path, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report hotpathReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, r := range report.Results {
+		if r.OpsPerSec <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("non-positive measurement: %+v", r)
+		}
+		seen[r.Bench+"/"+r.Mode] = true
+	}
+	for _, want := range []string{
+		"glk/ticket", "glk/mcs", "glk/adaptive",
+		"gls/ticket", "gls/mcs", "gls/adaptive",
+	} {
+		if !seen[want] {
+			t.Errorf("report missing series %s", want)
+		}
 	}
 }
 

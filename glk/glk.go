@@ -19,8 +19,11 @@ package glk
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 
 	"gls/internal/emastats"
+	"gls/internal/pad"
+	"gls/internal/stripe"
 	"gls/internal/sysmon"
 	"gls/locks"
 )
@@ -166,32 +169,64 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Padding for the Lock sections below (see the Lock doc comment and
+// glk/layout_test.go). sharedBytes counts lockType (4B, padded to 8 by
+// Config's 8-byte alignment) plus the config; holderBytes counts the four
+// 8-byte holder fields (numAcquired, queueTotal, transitions,
+// presentToken), the EMA, and the 4-byte acquiredMode.
+const (
+	sharedBytes = 8 + unsafe.Sizeof(Config{})
+	sharedPad   = (pad.CacheLineSize - sharedBytes%pad.CacheLineSize) % pad.CacheLineSize
+	holderBytes = 36 + unsafe.Sizeof(emastats.EMA{})
+	holderPad   = (pad.CacheLineSize - holderBytes%pad.CacheLineSize) % pad.CacheLineSize
+)
+
 // Lock is a GLK adaptive lock (the paper's glk_t, Figure 3). It contains
 // the mode flag, the three underlying lock objects, and the statistics
 // counters. Construct with New; the zero value is not usable.
+//
+// Field order is cache-line layout, not taxonomy (§3.2 pads every lock "for
+// fairness and for avoiding false cache-line sharing"; layout_test.go pins
+// the invariants). Four line-aligned sections:
+//
+//  1. lockType + cfg — read by every arriving goroutine, written only at
+//     construction and on (rare) mode transitions;
+//  2. holder-only statistics — written every critical section, but only by
+//     the goroutine currently holding the lock;
+//  3. the three low-level locks, each already padded to its own line(s);
+//  4. the striped presence counter, one line per stripe.
+//
+// Keeping per-acquisition writes off section 1 and off each other's lines
+// is what preserves MCS's local-spinning guarantee: an arriving goroutine
+// touches its own stripe and reads the mode word, and neither invalidates a
+// line some waiter is spinning on.
 type Lock struct {
 	lockType atomic.Uint32 // current Mode
+	cfg      Config        // immutable after New
+	_        [sharedPad]byte
+
+	// Holder-only state, guarded by the lock itself.
+	numAcquired  uint64        // completed critical sections
+	queueTotal   uint64        // sum of sampled queue lengths (paper's counter)
+	queueEMA     emastats.EMA  // moving average of queue samples
+	transitions  atomic.Uint64 // mode changes, for observability
+	presentToken uint64        // holder's stripe token, repaid in Unlock
+	acquiredMode Mode          // which low-level lock the current holder took
+	_            [holderPad]byte
+
+	ticket locks.TicketLock
+	mcs    locks.MCSLock
+	mutex  locks.MutexLock
 
 	// present counts goroutines at the lock — inside Lock/TryLock or holding
 	// it. The paper samples queuing from the low-level locks (ticket's
 	// counter distance, MCS queue traversal); on the Go runtime a preempted
 	// waiter may not have enqueued into the low-level lock yet, which makes
 	// those samples mode-asymmetric and flappy, so GLK counts presence
-	// itself, uniformly across modes (see DESIGN.md).
-	present atomic.Int32
-
-	ticket locks.TicketLock
-	mcs    locks.MCSLock
-	mutex  locks.MutexLock
-
-	// Holder-only state, guarded by the lock itself.
-	acquiredMode Mode          // which low-level lock the current holder took
-	numAcquired  uint64        // completed critical sections
-	queueTotal   uint64        // sum of sampled queue lengths (paper's counter)
-	queueEMA     emastats.EMA  // moving average of queue samples
-	transitions  atomic.Uint64 // mode changes, for observability
-
-	cfg Config
+	// itself, uniformly across modes (see DESIGN.md §4). The counter is
+	// striped so that arrival/release traffic stays off shared lines; only
+	// the holder sums it, every SamplePeriod critical sections.
+	present stripe.Counter
 }
 
 var _ locks.Lock = (*Lock)(nil)
@@ -235,7 +270,8 @@ func (l *Lock) Transitions() uint64 { return l.transitions.Load() }
 // Lock acquires l, adapting the mode if the statistics call for it
 // (paper Figure 4).
 func (l *Lock) Lock() {
-	l.present.Add(1)
+	tok := stripe.Self()
+	l.present.Add(tok, 1)
 	for {
 		cur := Mode(l.lockType.Load())
 		l.lockLow(cur)
@@ -243,6 +279,7 @@ func (l *Lock) Lock() {
 		// waited on the (now stale) low-level lock.
 		if Mode(l.lockType.Load()) == cur && !l.tryAdapt(cur) {
 			l.acquiredMode = cur
+			l.presentToken = tok
 			return
 		}
 		l.unlockLow(cur)
@@ -251,15 +288,17 @@ func (l *Lock) Lock() {
 
 // TryLock attempts to acquire l without waiting.
 func (l *Lock) TryLock() bool {
-	l.present.Add(1)
+	tok := stripe.Self()
+	l.present.Add(tok, 1)
 	for {
 		cur := Mode(l.lockType.Load())
 		if !l.tryLockLow(cur) {
-			l.present.Add(-1)
+			l.present.Add(tok, -1)
 			return false
 		}
 		if Mode(l.lockType.Load()) == cur && !l.tryAdapt(cur) {
 			l.acquiredMode = cur
+			l.presentToken = tok
 			return true
 		}
 		l.unlockLow(cur)
@@ -270,7 +309,9 @@ func (l *Lock) TryLock() bool {
 func (l *Lock) Unlock() {
 	m := l.acquiredMode
 	l.acquiredMode = 0
-	l.present.Add(-1)
+	// Repay the stripe taken in Lock/TryLock while still holding the lock:
+	// presentToken is holder-only state.
+	l.present.Add(l.presentToken, -1)
 	l.unlockLow(m)
 }
 
@@ -317,9 +358,10 @@ func (l *Lock) unlockLow(m Mode) {
 }
 
 // queueLen samples the number of goroutines at the lock, holder included.
-// The sample is mode-independent by design; see the present field.
+// The sample is mode-independent by design; see the present field. It sums
+// all stripes and is only called by the holder, once per SamplePeriod.
 func (l *Lock) queueLen() int {
-	return int(l.present.Load())
+	return int(l.present.Sum())
 }
 
 // queueLenLow samples the low-level lock's own queue for mode m — the

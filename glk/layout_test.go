@@ -1,0 +1,89 @@
+package glk
+
+import (
+	"testing"
+	"unsafe"
+
+	"gls/internal/pad"
+	"gls/internal/stripe"
+)
+
+// TestLockSectionsLineAligned pins the cache-line layout the Lock doc
+// comment promises, mirroring locks/layout_test.go: each section starts on
+// its own line, so a future field addition cannot silently put a
+// per-acquisition write back onto a line that arriving or waiting
+// goroutines read.
+func TestLockSectionsLineAligned(t *testing.T) {
+	var l Lock
+	if off := unsafe.Offsetof(l.lockType); off != 0 {
+		t.Errorf("lockType at offset %d, want 0 (head of the shared read-mostly section)", off)
+	}
+	sections := map[string]uintptr{
+		"holder stats (numAcquired)": unsafe.Offsetof(l.numAcquired),
+		"ticket lock":                unsafe.Offsetof(l.ticket),
+		"mcs lock":                   unsafe.Offsetof(l.mcs),
+		"mutex lock":                 unsafe.Offsetof(l.mutex),
+		"striped presence (present)": unsafe.Offsetof(l.present),
+	}
+	for name, off := range sections {
+		if off%pad.CacheLineSize != 0 {
+			t.Errorf("%s at offset %d, not %d-byte aligned", name, off, pad.CacheLineSize)
+		}
+	}
+	if s := unsafe.Sizeof(l); s%pad.CacheLineSize != 0 {
+		t.Errorf("Lock is %d bytes, not a multiple of %d (heap slots would lose line alignment)", s, pad.CacheLineSize)
+	}
+}
+
+// TestLockSectionsDoNotShareLines verifies the separation the layout exists
+// for: the mode word every arrival reads, the stats the holder writes every
+// critical section, and each stripe of the presence counter all live on
+// distinct cache lines.
+func TestLockSectionsDoNotShareLines(t *testing.T) {
+	var l Lock
+	line := func(off uintptr) uintptr { return off / pad.CacheLineSize }
+
+	modeLine := line(unsafe.Offsetof(l.lockType))
+	holderFields := map[string]uintptr{
+		"numAcquired":  unsafe.Offsetof(l.numAcquired),
+		"queueTotal":   unsafe.Offsetof(l.queueTotal),
+		"queueEMA":     unsafe.Offsetof(l.queueEMA),
+		"transitions":  unsafe.Offsetof(l.transitions),
+		"presentToken": unsafe.Offsetof(l.presentToken),
+		"acquiredMode": unsafe.Offsetof(l.acquiredMode),
+	}
+	holderLine := line(unsafe.Offsetof(l.numAcquired))
+	for name, off := range holderFields {
+		if line(off) == modeLine {
+			t.Errorf("holder-written field %s shares the mode word's cache line", name)
+		}
+		if line(off) != holderLine {
+			t.Errorf("holder field %s spilled off the holder stats line (offset %d)", name, off)
+		}
+	}
+	for _, sec := range []struct {
+		name string
+		off  uintptr
+	}{
+		{"ticket", unsafe.Offsetof(l.ticket)},
+		{"mcs", unsafe.Offsetof(l.mcs)},
+		{"mutex", unsafe.Offsetof(l.mutex)},
+		{"present", unsafe.Offsetof(l.present)},
+	} {
+		if line(sec.off) == modeLine || line(sec.off) == holderLine {
+			t.Errorf("section %s shares a line with the mode word or holder stats", sec.name)
+		}
+	}
+}
+
+// TestPresenceCounterStriped pins the stripe geometry: the embedded counter
+// is exactly one line per stripe, so a line-aligned Lock keeps every stripe
+// on a private line.
+func TestPresenceCounterStriped(t *testing.T) {
+	var l Lock
+	want := uintptr(stripe.NumStripes * pad.CacheLineSize)
+	if s := unsafe.Sizeof(l.present); s != want {
+		t.Errorf("present counter is %d bytes, want %d (%d line-sized stripes)",
+			s, want, stripe.NumStripes)
+	}
+}

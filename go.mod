@@ -1,0 +1,3 @@
+module gls
+
+go 1.22

@@ -18,6 +18,12 @@ type Handle struct {
 	s        *Service
 	lastKey  uint64
 	lastLock locks.Lock
+	// epoch is the service's freeEpoch at the time the pair was cached. A
+	// Free anywhere in the service bumps that counter, so a stale cache —
+	// key freed, then possibly remapped to a brand-new lock — is detected
+	// by one atomic load instead of a table lookup. Frees are rare; cache
+	// hits stay one compare in the common case.
+	epoch uint64
 }
 
 // NewHandle returns a fresh handle bound to s.
@@ -27,11 +33,14 @@ func (s *Service) NewHandle() *Handle {
 
 // lookup resolves key via the one-entry cache.
 func (h *Handle) lookup(key uint64) locks.Lock {
-	if key == h.lastKey && h.lastLock != nil {
+	if key == h.lastKey && h.lastLock != nil && h.s.freeEpoch.Load() == h.epoch {
 		return h.lastLock
 	}
+	// Read the epoch before resolving: if a Free races with this lookup,
+	// the cached epoch is already behind and the next lookup re-resolves.
+	epoch := h.s.freeEpoch.Load()
 	e, _ := h.s.entryFor(key, algoGLK)
-	h.lastKey, h.lastLock = key, e.lock
+	h.lastKey, h.lastLock, h.epoch = key, e.lock, epoch
 	return e.lock
 }
 
@@ -51,8 +60,10 @@ func (h *Handle) Unlock(key uint64) {
 	h.lookup(key).Unlock()
 }
 
-// Invalidate drops the cached pair. Call it if the key may have been freed
-// by another goroutine.
+// Invalidate drops the cached pair. Since Free already advances the
+// service-wide epoch the cache checks, this is only needed when the caller
+// wants to drop the reference to the lock object itself (e.g. to let a
+// freed lock be collected promptly).
 func (h *Handle) Invalidate() {
 	h.lastKey, h.lastLock = 0, nil
 }

@@ -97,6 +97,57 @@ func TestHandlePerGoroutine(t *testing.T) {
 	}
 }
 
+func TestHandleStaleAfterFree(t *testing.T) {
+	// A handle's cached (key, lock) pair must not survive Service.Free:
+	// the key may be remapped to a brand-new lock, and locking the dead
+	// object would silently break mutual exclusion with everyone using the
+	// new one.
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	h.Lock(7)
+	h.Unlock(7)
+	s.Free(7)
+	s.Lock(7) // remaps key 7 to a fresh lock, held by this goroutine
+	if h.TryLock(7) {
+		t.Fatal("handle acquired a stale lock for a freed-and-remapped key")
+	}
+	s.Unlock(7)
+	h.Lock(7) // now available again, through the new lock
+	h.Unlock(7)
+}
+
+func TestHandleStaleAfterFreeCrossGoroutine(t *testing.T) {
+	// Same hazard, with the free/remap on another goroutine. The goroutines
+	// hand off via channels so the key is never freed mid-operation (which
+	// would be a caller lifecycle bug); the handle's cache is the only
+	// reference that survives the free.
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	h.Lock(21)
+	h.Unlock(21)
+
+	remapped := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Free(21)
+		s.Lock(21) // fresh lock for the remapped key, held
+		close(remapped)
+		<-release
+		s.Unlock(21)
+	}()
+
+	<-remapped
+	if h.TryLock(21) {
+		t.Fatal("handle acquired a stale lock while the remapped key was held elsewhere")
+	}
+	close(release)
+	<-done
+	h.Lock(21)
+	h.Unlock(21)
+}
+
 func TestHandleInvalidate(t *testing.T) {
 	s := newTestService(t, Options{})
 	h := s.NewHandle()

@@ -1,0 +1,114 @@
+package stripe
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"gls/internal/pad"
+)
+
+// TestLayout pins the padding invariants: every cell owns a full cache line
+// and the counter is exactly NumStripes lines, so embedding it at a
+// line-aligned offset keeps all cells line-aligned.
+func TestLayout(t *testing.T) {
+	if s := unsafe.Sizeof(cell{}); s != pad.CacheLineSize {
+		t.Errorf("cell is %d bytes, want exactly one %d-byte line", s, pad.CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Counter{}); s != NumStripes*pad.CacheLineSize {
+		t.Errorf("Counter is %d bytes, want %d", s, NumStripes*pad.CacheLineSize)
+	}
+	if NumStripes&(NumStripes-1) != 0 {
+		t.Errorf("NumStripes = %d is not a power of two", NumStripes)
+	}
+}
+
+// TestSumExact: the total is exact regardless of which stripes absorbed the
+// updates.
+func TestSumExact(t *testing.T) {
+	var c Counter
+	for i := 0; i < 1000; i++ {
+		c.Add(uint64(i), 1)
+	}
+	if got := c.Sum(); got != 1000 {
+		t.Fatalf("Sum = %d, want 1000", got)
+	}
+	for i := 0; i < 1000; i++ {
+		c.Add(uint64(i)*0x9e3779b9, -1)
+	}
+	if got := c.Sum(); got != 0 {
+		t.Fatalf("Sum after drain = %d, want 0", got)
+	}
+}
+
+// TestConcurrentBalance: concurrent paired Add(+1)/Add(-1) always settles
+// to zero, with tokens both stable and varying per goroutine.
+func TestConcurrentBalance(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			tok := Self()
+			for i := 0; i < 10000; i++ {
+				c.Add(tok, 1)
+				c.Add(seed+uint64(i), 2)
+				c.Add(seed+uint64(i), -2)
+				c.Add(tok, -1)
+			}
+		}(uint64(g) * 977)
+	}
+	wg.Wait()
+	if got := c.Sum(); got != 0 {
+		t.Fatalf("Sum = %d, want 0", got)
+	}
+}
+
+// TestSelfStableWithinGoroutine: repeated calls from one goroutine at the
+// same depth agree — the property that gives each goroutine a private line.
+func TestSelfStableWithinGoroutine(t *testing.T) {
+	a, b := Self(), Self()
+	if a != b {
+		t.Fatalf("Self() not stable within a goroutine: %#x vs %#x", a, b)
+	}
+}
+
+// TestSelfDoesNotAllocate guards the hot path: a heap allocation per
+// arrival would dwarf the saved coherence traffic.
+func TestSelfDoesNotAllocate(t *testing.T) {
+	var sink uint64
+	if n := testing.AllocsPerRun(100, func() { sink = Self() }); n != 0 {
+		t.Fatalf("Self allocates %.1f objects per call", n)
+	}
+	var c Counter
+	if n := testing.AllocsPerRun(100, func() { c.Add(sink, 1) }); n != 0 {
+		t.Fatalf("Add allocates %.1f objects per call", n)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	var c Counter
+	tok := Self()
+	for i := 0; i < b.N; i++ {
+		c.Add(tok, 1)
+	}
+}
+
+func BenchmarkSelf(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = Self()
+	}
+	_ = sink
+}
+
+func BenchmarkAddParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		tok := Self()
+		for pb.Next() {
+			c.Add(tok, 1)
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package gls
+
+import (
+	"testing"
+	"unsafe"
+
+	"gls/internal/pad"
+)
+
+// TestEntryLayout pins the entry padding invariants (see the entry doc
+// comment): the read-only header the lookup path touches never shares a
+// cache line with the debug/profile accumulators, and the entry is a whole
+// number of lines so heap slots stay line-aligned.
+func TestEntryLayout(t *testing.T) {
+	var e entry
+	if off := unsafe.Offsetof(e.entryHeader); off != 0 {
+		t.Errorf("entryHeader at offset %d, want 0", off)
+	}
+	statsOff := unsafe.Offsetof(e.entryStats)
+	if statsOff%pad.CacheLineSize != 0 {
+		t.Errorf("entryStats at offset %d, not %d-byte aligned", statsOff, pad.CacheLineSize)
+	}
+	headerEnd := unsafe.Sizeof(entryHeader{})
+	if statsOff/pad.CacheLineSize <= (headerEnd-1)/pad.CacheLineSize {
+		t.Errorf("entryStats (offset %d) shares a cache line with the header (%d bytes)",
+			statsOff, headerEnd)
+	}
+	if s := unsafe.Sizeof(e); s%pad.CacheLineSize != 0 {
+		t.Errorf("entry is %d bytes, not a multiple of %d", s, pad.CacheLineSize)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"os"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"gls/glk"
 	"gls/internal/clht"
 	"gls/internal/gid"
+	"gls/internal/pad"
 	"gls/locks"
 )
 
@@ -64,12 +66,16 @@ type Options struct {
 	Stderr io.Writer
 }
 
-// entry is the lock object a key maps to, plus its debug/profile metadata.
-type entry struct {
+// entryHeader is the read-only part of an entry: written once at creation,
+// then only read (by every Lock/Unlock that resolves the key).
+type entryHeader struct {
 	key  uint64
 	algo locks.Algorithm // algoGLK or the explicit algorithm
 	lock locks.Lock
+}
 
+// entryStats is the mutable debug/profile part of an entry.
+type entryStats struct {
 	// owner is the goroutine currently holding the lock (0 = free).
 	// Maintained only in debug mode.
 	owner atomic.Uint64
@@ -87,6 +93,21 @@ type entry struct {
 	csStart     time.Time
 }
 
+// entry is the lock object a key maps to, plus its debug/profile metadata.
+// The header and the stats are separated by a full line of padding so the
+// (key, lock) words the lookup path reads never share a cache line with the
+// accumulators the debug/profile paths write — otherwise every profiled
+// acquisition would invalidate the line every other goroutine needs just to
+// find its lock (§3.2's false-sharing rule, applied to the table values).
+// The trailing pad keeps the entry a whole number of lines so heap slots
+// stay line-aligned; layout_test.go pins both invariants.
+type entry struct {
+	entryHeader
+	_ [(pad.CacheLineSize - unsafe.Sizeof(entryHeader{})%pad.CacheLineSize) % pad.CacheLineSize]byte
+	entryStats
+	_ [(pad.CacheLineSize - unsafe.Sizeof(entryStats{})%pad.CacheLineSize) % pad.CacheLineSize]byte
+}
+
 // Service is one GLS instance: a concurrent key→lock table plus the
 // optional debug and profile machinery. Create with New; a Service must not
 // be copied.
@@ -94,6 +115,17 @@ type Service struct {
 	opts  Options
 	table *clht.Table[entry]
 	dbg   *debugState // nil unless Options.Debug
+
+	// fast is precomputed at New: no debug, no profile. The hot entry
+	// points check this one bool instead of re-deriving the service's mode
+	// from the options on every call, so the zero-options path is a
+	// wait-free table Get plus the lock call and nothing else.
+	fast bool
+
+	// freeEpoch counts Free calls. Handles validate their cached (key,
+	// lock) pair against it, so a key freed and remapped by another
+	// goroutine cannot be locked through a stale cache (see handle.go).
+	freeEpoch atomic.Uint64
 
 	issueCounts [issueKindCount]atomic.Uint64
 	closed      atomic.Bool
@@ -113,6 +145,7 @@ func New(opts Options) *Service {
 	s := &Service{
 		opts:  opts,
 		table: clht.New[entry](opts.SizeHint),
+		fast:  !opts.Debug && !opts.Profile,
 	}
 	if opts.Debug {
 		s.dbg = newDebugState()
@@ -136,7 +169,7 @@ func (s *Service) Close() {
 // newEntry builds the lock object for a key on first use.
 func (s *Service) newEntry(key uint64, algo locks.Algorithm) func() *entry {
 	return func() *entry {
-		e := &entry{key: key, algo: algo}
+		e := &entry{entryHeader: entryHeader{key: key, algo: algo}}
 		if algo == algoGLK {
 			e.lock = glk.New(s.opts.GLK)
 		} else {
@@ -156,7 +189,18 @@ func (s *Service) entryFor(key uint64, algo locks.Algorithm) (*entry, bool) {
 }
 
 // Lock acquires the GLK lock for key, creating it on first use (gls_lock).
+//
+// With zero options (no debug, no profile) this is the paper's "negligible
+// overhead" path: one wait-free table Get and the lock call, with no
+// instrumentation branches. Only a first use of a key (or a non-fast
+// service) goes through the general path.
 func (s *Service) Lock(key uint64) {
+	if s.fast {
+		if e := s.table.Get(key); e != nil {
+			e.lock.Lock()
+			return
+		}
+	}
 	s.lockWith(algoGLK, key)
 }
 
@@ -187,6 +231,11 @@ func (s *Service) lockWith(a locks.Algorithm, key uint64) {
 
 // TryLock try-acquires the GLK lock for key (gls_trylock).
 func (s *Service) TryLock(key uint64) bool {
+	if s.fast {
+		if e := s.table.Get(key); e != nil {
+			return e.lock.TryLock()
+		}
+	}
 	return s.tryLockWith(algoGLK, key)
 }
 
@@ -214,11 +263,22 @@ func (s *Service) tryLockWith(a locks.Algorithm, key uint64) bool {
 // Unlock releases the lock for key (gls_unlock). Unlocking a key that was
 // never locked panics in normal mode (there is nothing to release) and is
 // reported as an uninitialized-lock issue in debug mode.
+//
+// The single wait-free Get resolves the entry for whichever mode the
+// service runs in; the mode itself was decided once at New (s.fast), not
+// per call.
 func (s *Service) Unlock(key uint64) {
 	if key == 0 {
 		panic("gls: zero key (the paper's NULL) is not a valid lock")
 	}
 	e := s.table.Get(key)
+	if s.fast {
+		if e == nil {
+			panic(fmt.Sprintf("gls: Unlock(%#x): key was never locked", key))
+		}
+		e.lock.Unlock()
+		return
+	}
 	if s.dbg != nil {
 		s.debugUnlock(key, e)
 		return
@@ -291,7 +351,11 @@ func (s *Service) Free(key uint64) {
 		}
 		s.dbg.forget(key)
 	}
-	s.table.Delete(key)
+	if s.table.Delete(key) != nil {
+		// Invalidate every Handle's cached (key, lock) pair: the key may be
+		// remapped to a fresh lock after this point (see Handle.lookup).
+		s.freeEpoch.Add(1)
+	}
 }
 
 // Locks returns the number of lock objects currently mapped.
