@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -111,8 +112,9 @@ func median(xs []float64) float64 {
 }
 
 // runHotpath measures the full family and writes the JSON report to path
-// ("-" for stdout). It also prints the human-readable table.
-func runHotpath(path string, o opts) error {
+// ("-" for stdout). The human-readable table goes to progress, which the
+// caller points at stderr when stdout carries the JSON.
+func runHotpath(path string, progress io.Writer, o opts) error {
 	mon := benchMonitor()
 	defer mon.Stop()
 	report := hotpathReport{
@@ -152,7 +154,7 @@ func runHotpath(path string, o opts) error {
 					OpsPerSec:  opsSec,
 				}
 				report.Results = append(report.Results, res)
-				fmt.Printf("%-4s %-9s goroutines=%-3d %12.0f ops/s  %8.1f ns/op\n",
+				fmt.Fprintf(progress, "%-4s %-9s goroutines=%-3d %12.0f ops/s  %8.1f ns/op\n",
 					bench, mode.name, g, res.OpsPerSec, res.NsPerOp)
 			}
 		}

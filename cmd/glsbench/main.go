@@ -9,6 +9,8 @@
 //	glsbench -fig 1 -fig 8 -fig 13  # several
 //	glsbench -all                   # everything
 //	glsbench -all -quick            # short runs (CI smoke)
+//	glsbench -hotpath FILE          # this tree's own line-bounce family
+//	glsbench -stat                  # glstat telemetry demo (report + diff)
 //
 // Absolute numbers differ from the paper (different machine, Go runtime,
 // modelled systems); the shapes — which lock wins where, and where the
@@ -18,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -100,6 +103,8 @@ func main() {
 	all := flag.Bool("all", false, "run every figure")
 	hotpath := flag.String("hotpath", "",
 		"run the hot-path line-bounce family and write the JSON report to this file (\"-\" for stdout)")
+	stat := flag.Bool("stat", false,
+		"run the glstat telemetry demo: two workload phases, then the contention report and interval diff")
 	quick := flag.Bool("quick", false, "short runs for smoke testing")
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per point")
 	reps := flag.Int("reps", 3, "repetitions per point (median reported; paper uses 11)")
@@ -111,6 +116,9 @@ func main() {
 		o.duration = 40 * time.Millisecond
 		o.reps = 1
 	}
+	if o.reps < 1 {
+		o.reps = 1 // a zero-sample sweep has no median
+	}
 	if o.maxThreads <= 0 {
 		o.maxThreads = runtime.GOMAXPROCS(0)*2 + 8
 	}
@@ -120,19 +128,41 @@ func main() {
 			figs[k] = true
 		}
 	}
-	if len(figs) == 0 && *hotpath == "" {
-		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE  (figures: %s)\n", knownFigures())
+	if len(figs) == 0 && *hotpath == "" && !*stat {
+		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -stat  (figures: %s)\n", knownFigures())
+		os.Exit(2)
+	}
+	if *stat && *hotpath == "-" {
+		// -hotpath - reserves stdout for the JSON report; the stat text
+		// report would interleave with it. Run them separately.
+		fmt.Fprintln(os.Stderr, "glsbench: -stat cannot be combined with -hotpath - (stdout carries the JSON report)")
 		os.Exit(2)
 	}
 
+	// With -hotpath -, stdout is reserved for the JSON report: banners,
+	// headers, and the per-point table all move to stderr so the output
+	// pipes cleanly into jq and friends.
+	progress := io.Writer(os.Stdout)
+	if *hotpath == "-" {
+		progress = os.Stderr
+	}
 	cycles.Calibrate()
-	fmt.Printf("# glsbench: GOMAXPROCS=%d, nominal frequency %.1f GHz, %v/point, %d rep(s)\n\n",
+	fmt.Fprintf(progress, "# glsbench: GOMAXPROCS=%d, nominal frequency %.1f GHz, %v/point, %d rep(s)\n\n",
 		runtime.GOMAXPROCS(0), cycles.FrequencyGHz(), o.duration, o.reps)
 
 	if *hotpath != "" {
-		fmt.Printf("== Hot path: single hot lock, arrival/release line-bounce family ==\n")
-		if err := runHotpath(*hotpath, o); err != nil {
+		fmt.Fprintf(progress, "== Hot path: single hot lock, arrival/release line-bounce family ==\n")
+		if err := runHotpath(*hotpath, progress, o); err != nil {
 			fmt.Fprintf(os.Stderr, "glsbench: -hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(progress)
+	}
+
+	if *stat {
+		fmt.Printf("== glstat: always-on lock telemetry ==\n")
+		if err := runStat(o); err != nil {
+			fmt.Fprintf(os.Stderr, "glsbench: -stat: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,7 +57,7 @@ func TestHotpathRunsAndEmitsJSON(t *testing.T) {
 	// the JSON schema is a contract (BENCH_glk_hotpath.json) that CI must
 	// cover.
 	path := filepath.Join(t.TempDir(), "hotpath.json")
-	if err := runHotpath(path, quickOpts()); err != nil {
+	if err := runHotpath(path, io.Discard, quickOpts()); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/cycles"
+	"gls/internal/sysmon"
+	"gls/internal/xrand"
+	"gls/telemetry"
+)
+
+// waitForMonitorRounds blocks until the monitor has sampled n more times
+// (so a freshly-set hint is reflected in the multiprogramming flag), with a
+// safety timeout.
+func waitForMonitorRounds(m *sysmon.Monitor, n uint64) {
+	start := m.Rounds()
+	deadline := time.Now().Add(time.Second)
+	for m.Rounds() < start+n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// runStat demonstrates (and smoke-tests, via -quick in CI) the glstat
+// telemetry subsystem end to end: a service with always-on telemetry runs
+// two workload phases — a contended mix over a few keys, then an
+// oversubscribed hammer on one hot key that drives GLK into mutex mode —
+// and prints the cumulative report plus the phase-B interval obtained with
+// Snapshot.Diff. Everything it prints comes from the public telemetry API;
+// nothing is instrumented by hand.
+func runStat(o opts) error {
+	mon := benchMonitor()
+	defer mon.Stop()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 8})
+	svc := gls.New(gls.Options{
+		Telemetry: reg,
+		// Fast adaptation so the demo transitions within a bench window.
+		GLK: &glk.Config{Monitor: mon, SamplePeriod: 8, AdaptPeriod: 64},
+	})
+	defer svc.Close()
+
+	const (
+		keyIndex   uint64 = 1 // hot in both phases
+		keyJournal uint64 = 2 // warm
+		keyConfig  uint64 = 3 // cold
+	)
+	reg.SetLabel(keyIndex, "index")
+	reg.SetLabel(keyJournal, "journal")
+	reg.SetLabel(keyConfig, "config")
+
+	phase := func(goroutines int, d time.Duration, body func(rng *xrand.SplitMix64)) {
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		time.AfterFunc(d, func() { close(stop) })
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				rng := xrand.NewSplitMix64(seed)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					body(rng)
+				}
+			}(uint64(g) + 1)
+		}
+		wg.Wait()
+	}
+
+	// Phase A: a contended mix, enough pressure on the index key to leave
+	// ticket mode but no oversubscription.
+	phaseDur := o.duration
+	fmt.Printf("phase A: contended mix (%d goroutines, %v)\n", 4, phaseDur)
+	phase(4, phaseDur, func(rng *xrand.SplitMix64) {
+		svc.Lock(keyIndex)
+		cycles.Wait(512)
+		svc.Unlock(keyIndex)
+		if rng.Bool(0.3) {
+			svc.Lock(keyJournal)
+			cycles.Wait(256)
+			svc.Unlock(keyJournal)
+		}
+		if rng.Bool(0.01) {
+			svc.Lock(keyConfig)
+			cycles.Wait(4096)
+			svc.Unlock(keyConfig)
+		}
+	})
+	after := reg.Snapshot()
+
+	// Phase B: oversubscription — far more workers than GOMAXPROCS, with
+	// the census hinted to the monitor, pushes the hot lock to mutex mode.
+	workers := 6 * runtime.GOMAXPROCS(0)
+	fmt.Printf("phase B: oversubscription (%d goroutines on %d procs, %v)\n",
+		workers, runtime.GOMAXPROCS(0), phaseDur)
+	mon.SetHint(workers)
+	defer mon.SetHint(0)
+	waitForMonitorRounds(mon, 2)
+	phase(workers, phaseDur, func(rng *xrand.SplitMix64) {
+		svc.Lock(keyIndex)
+		// Yield while holding so arrivals overlap the critical section
+		// even on GOMAXPROCS=1 (a single-P spin loop serialises
+		// perfectly and would never build a queue).
+		runtime.Gosched()
+		cycles.Wait(512)
+		svc.Unlock(keyIndex)
+	})
+
+	final := reg.Snapshot()
+	fmt.Println("\n-- cumulative report --")
+	if err := final.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\n-- phase B interval (Snapshot.Diff) --")
+	if err := final.Diff(after).WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	hot := final.Lock(keyIndex)
+	if hot == nil || hot.Acquisitions == 0 {
+		return fmt.Errorf("telemetry lost the hot key")
+	}
+	if hot.TransitionCount() == 0 {
+		fmt.Println("\n(no mode transitions this run — lengthen -duration to see ticket→mcs→mutex)")
+	}
+	return nil
+}

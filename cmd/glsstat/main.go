@@ -1,0 +1,176 @@
+// Command glsstat inspects glstat telemetry snapshots — the offline
+// companion to the in-process report (telemetry.Snapshot.WriteText) and the
+// HTTP endpoint (telemetry/telemetryhttp). A deployment exports snapshots
+// as JSON (handler ?format=json, expvar, or Snapshot.WriteJSON); glsstat
+// renders and compares them:
+//
+//	glsstat snap.json                  print the /proc/lock_stat-style report
+//	glsstat -json snap.json            re-emit normalized, sorted JSON
+//	glsstat -diff old.json new.json    report only the interval between two snapshots
+//	glsstat -top 5 snap.json           the five most contended locks
+//	glsstat -demo                      run a built-in contended workload and report it
+//	glsstat -demo -serve :8080         ...and serve /debug/glstat + expvar instead of exiting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/cycles"
+	"gls/internal/sysmon"
+	"gls/telemetry"
+	"gls/telemetry/telemetryhttp"
+)
+
+// loadSnapshot reads a JSON snapshot from path ("-" for stdin).
+func loadSnapshot(path string) (*telemetry.Snapshot, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return telemetry.ReadJSON(r)
+}
+
+// render writes snap as text or JSON, keeping only the top most-contended
+// locks if top > 0 (the snapshot is sorted by contention already).
+func render(w io.Writer, snap *telemetry.Snapshot, top int, asJSON bool) error {
+	if top > 0 && top < len(snap.Locks) {
+		snap.Locks = snap.Locks[:top]
+	}
+	if asJSON {
+		return snap.WriteJSON(w)
+	}
+	return snap.WriteText(w)
+}
+
+// reportFile renders one snapshot file.
+func reportFile(w io.Writer, path string, top int, asJSON bool) error {
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	return render(w, snap, top, asJSON)
+}
+
+// diffFiles renders the interval between two snapshot files.
+func diffFiles(w io.Writer, oldPath, newPath string, top int, asJSON bool) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return fmt.Errorf("old snapshot: %w", err)
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return fmt.Errorf("new snapshot: %w", err)
+	}
+	return render(w, newSnap.Diff(oldSnap), top, asJSON)
+}
+
+// demo runs a small contended workload against a telemetry-enabled service
+// and returns its registry, for -demo and -serve.
+func demo(d time.Duration) (*telemetry.Registry, func()) {
+	mon := sysmon.New(sysmon.Options{Interval: time.Millisecond, DisableProbes: true})
+	mon.Start()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 8})
+	svc := gls.New(gls.Options{
+		Telemetry: reg,
+		GLK:       &glk.Config{Monitor: mon, SamplePeriod: 8, AdaptPeriod: 64},
+	})
+	const hot, cold uint64 = 1, 2
+	reg.SetLabel(hot, "hot")
+	reg.SetLabel(cold, "cold")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				svc.Lock(hot)
+				cycles.Wait(512)
+				svc.Unlock(hot)
+				if i == 0 && n%64 == 0 {
+					svc.Lock(cold)
+					cycles.Wait(128)
+					svc.Unlock(cold)
+				}
+			}
+		}(g)
+	}
+	cleanup := func() {
+		close(stop)
+		wg.Wait()
+		svc.Close()
+		mon.Stop()
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return reg, cleanup
+}
+
+func main() {
+	diff := flag.Bool("diff", false, "treat the two file arguments as old and new snapshots and report the interval")
+	asJSON := flag.Bool("json", false, "emit JSON instead of the text report")
+	top := flag.Int("top", 0, "limit output to the N most contended locks (0 = all)")
+	runDemo := flag.Bool("demo", false, "run a built-in contended workload instead of reading files")
+	demoDur := flag.Duration("duration", 500*time.Millisecond, "demo workload duration")
+	serve := flag.String("serve", "", "with -demo: keep the workload running and serve /debug/glstat and expvar on this address")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "glsstat: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *runDemo && *serve != "":
+		reg, _ := demo(0) // workload keeps running behind the server
+		telemetryhttp.Publish("glstat", reg)
+		http.Handle("/debug/glstat", telemetryhttp.Handler(reg))
+		fmt.Printf("serving http://%s/debug/glstat (text; ?format=json) and /debug/vars (expvar)\n", *serve)
+		fail(http.ListenAndServe(*serve, nil))
+	case *runDemo:
+		reg, cleanup := demo(*demoDur)
+		cleanup()
+		if err := render(os.Stdout, reg.Snapshot(), *top, *asJSON); err != nil {
+			fail(err)
+		}
+	case *diff:
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("-diff needs exactly two snapshot files (old new), got %d", flag.NArg()))
+		}
+		if err := diffFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *top, *asJSON); err != nil {
+			fail(err)
+		}
+	case flag.NArg() == 1:
+		if err := reportFile(os.Stdout, flag.Arg(0), *top, *asJSON); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: glsstat [-json] [-top N] FILE.json | -diff OLD.json NEW.json | -demo [-duration D] [-serve ADDR]")
+		os.Exit(2)
+	}
+}

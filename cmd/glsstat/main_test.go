@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gls/internal/stripe"
+	"gls/telemetry"
+)
+
+// writeSnapshotFile builds a registry with real traffic and writes its
+// snapshot JSON to a temp file, returning the path and the registry.
+func writeSnapshotFile(t *testing.T, extraAcq int) (string, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	st := reg.Register(0xabc, "glk")
+	reg.SetLabel(0xabc, "hot")
+	tok := stripe.Self()
+	for i := 0; i < 10+extraAcq; i++ {
+		a := st.Arrive(tok)
+		a.Acquired(i%2 == 0)
+		st.Release(tok)
+	}
+	st.Transition("ticket", "mcs", "avg queue 4.00 > 3.00")
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path, reg
+}
+
+func TestReportFileText(t *testing.T) {
+	path, _ := writeSnapshotFile(t, 0)
+	var b bytes.Buffer
+	if err := reportFile(&b, path, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"[glstat]", "0xabc", "hot", "ticket→mcs ×1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportFileJSONRoundTrip(t *testing.T) {
+	path, _ := writeSnapshotFile(t, 0)
+	var b bytes.Buffer
+	if err := reportFile(&b, path, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := telemetry.ReadJSON(&b)
+	if err != nil {
+		t.Fatalf("glsstat -json output not parseable: %v", err)
+	}
+	if snap.Lock(0xabc) == nil || snap.Lock(0xabc).Acquisitions != 10 {
+		t.Fatalf("snapshot after round trip: %+v", snap)
+	}
+}
+
+func TestDiffFiles(t *testing.T) {
+	oldPath, reg := writeSnapshotFile(t, 0)
+	// More traffic on the same registry, then a second snapshot file.
+	st := reg.Get(0xabc)
+	tok := stripe.Self()
+	for i := 0; i < 7; i++ {
+		a := st.Arrive(tok)
+		a.Acquired(false)
+		st.Release(tok)
+	}
+	newPath := filepath.Join(t.TempDir(), "new.json")
+	f, err := os.Create(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var b bytes.Buffer
+	if err := diffFiles(&b, oldPath, newPath, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := telemetry.ReadJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := snap.Lock(0xabc)
+	if l == nil || l.Acquisitions != 7 {
+		t.Fatalf("interval acquisitions = %+v, want 7", l)
+	}
+	if len(l.Transitions) != 0 {
+		t.Fatalf("no transitions happened in the interval, got %+v", l.Transitions)
+	}
+}
+
+func TestDiffFilesBadInput(t *testing.T) {
+	path, _ := writeSnapshotFile(t, 0)
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffFiles(&bytes.Buffer{}, bad, path, 0, false); err == nil {
+		t.Fatal("accepted corrupt old snapshot")
+	}
+	if err := reportFile(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing.json"), 0, false); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}
+
+func TestRenderTop(t *testing.T) {
+	snap := &telemetry.Snapshot{
+		SamplePeriod: 1,
+		Locks: []telemetry.LockSnapshot{
+			{Key: 1, Kind: "glk", Arrivals: 10, Acquisitions: 10, Contended: 9},
+			{Key: 2, Kind: "glk", Arrivals: 10, Acquisitions: 10, Contended: 1},
+		},
+	}
+	var b bytes.Buffer
+	if err := render(&b, snap, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "0x2") {
+		t.Fatalf("-top 1 kept the less contended lock:\n%s", b.String())
+	}
+}
+
+func TestDemoProducesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demo runs a timed workload")
+	}
+	reg, cleanup := demo(150 * time.Millisecond)
+	cleanup()
+	snap := reg.Snapshot()
+	hot := snap.Lock(1)
+	if hot == nil || hot.Acquisitions == 0 || hot.Label != "hot" {
+		t.Fatalf("demo telemetry: %+v", hot)
+	}
+}

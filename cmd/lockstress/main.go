@@ -5,43 +5,58 @@
 //	lockstress -bug deadlock
 //	lockstress -bug all
 //
-// Exit status is 0 when every requested bug was detected.
+// Beyond the §4.2 bugs, -bug oversubscription stresses the multiprogrammed
+// regime instead: it floods one GLS key from far more goroutines than
+// GOMAXPROCS and asserts — through the glstat telemetry registry, not by
+// poking lock internals — that GLK carried the lock into mutex mode. The
+// scenario's success criteria are the telemetry mode-transition counters
+// plus a contention report naming the hot key.
+//
+// Exit status is 0 when every requested scenario detected what it plants.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
 	"gls"
 	"gls/glk"
+	"gls/internal/cycles"
 	"gls/internal/sysmon"
+	"gls/telemetry"
 )
 
-// scenario is one plantable bug.
+// scenario is one stress case. Debug-mode bug scenarios set kind+plant
+// (plant the bug, expect debug mode to report that issue kind); scenarios
+// with their own success criterion set custom instead and validate
+// themselves. The map is the single source of truth for -bug values.
 type scenario struct {
-	kind gls.IssueKind
-	run  func(s *gls.Service)
+	kind   gls.IssueKind
+	plant  func(s *gls.Service)
+	custom func() (what string, ok bool)
 }
 
 var scenarios = map[string]scenario{
-	"uninitialized": {gls.IssueUninitializedLock, func(s *gls.Service) {
+	"oversubscription": {custom: runOversubscription},
+	"uninitialized": {kind: gls.IssueUninitializedLock, plant: func(s *gls.Service) {
 		s.Lock(0x6344e0) // never InitLock'ed; StrictInit flags it
 		s.Unlock(0x6344e0)
 	}},
-	"double-lock": {gls.IssueDoubleLock, func(s *gls.Service) {
+	"double-lock": {kind: gls.IssueDoubleLock, plant: func(s *gls.Service) {
 		s.InitLock(0x100)
 		s.Lock(0x100)
 		s.TryLock(0x100) // owner re-acquiring
 		s.Unlock(0x100)
 	}},
-	"unlock-free": {gls.IssueUnlockFree, func(s *gls.Service) {
+	"unlock-free": {kind: gls.IssueUnlockFree, plant: func(s *gls.Service) {
 		s.InitLock(0x62a494)
 		s.Unlock(0x62a494) // released before ever acquired
 	}},
-	"wrong-owner": {gls.IssueUnlockWrongOwner, func(s *gls.Service) {
+	"wrong-owner": {kind: gls.IssueUnlockWrongOwner, plant: func(s *gls.Service) {
 		s.InitLock(0x200)
 		s.Lock(0x200)
 		var wg sync.WaitGroup
@@ -53,7 +68,7 @@ var scenarios = map[string]scenario{
 		wg.Wait()
 		s.Unlock(0x200)
 	}},
-	"deadlock": {gls.IssueDeadlock, func(s *gls.Service) {
+	"deadlock": {kind: gls.IssueDeadlock, plant: func(s *gls.Service) {
 		const a, b = 0x1ad0010, 0x1acfff4
 		s.InitLock(a)
 		s.InitLock(b)
@@ -82,11 +97,101 @@ var scenarios = map[string]scenario{
 	}},
 }
 
+// runOversubscription drives GLK into mutex mode via the scheduler-pressure
+// path (goroutines ≫ GOMAXPROCS) and validates the transition through the
+// telemetry registry: the text report must name the hot key, count its
+// contended acquisitions, and show at least one spinlock→mutex transition.
+func runOversubscription() (string, bool) {
+	const hotKey = 0x90125
+	mon := sysmon.New(sysmon.Options{Interval: time.Millisecond, DisableProbes: true})
+	mon.Start()
+	defer mon.Stop()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 8})
+	svc := gls.New(gls.Options{
+		Telemetry: reg,
+		// Fast sampling/adaptation so the mode decision comes within the
+		// scenario's budget; thresholds stay at paper defaults.
+		GLK: &glk.Config{Monitor: mon, SamplePeriod: 8, AdaptPeriod: 64},
+	})
+	defer svc.Close()
+	svc.InitLock(hotKey)
+	reg.SetLabel(hotKey, "hot")
+
+	workers := 8 * runtime.GOMAXPROCS(0)
+	if workers < 16 {
+		workers = 16
+	}
+	fmt.Printf("flooding one key from %d goroutines on %d procs...\n",
+		workers, runtime.GOMAXPROCS(0))
+	mon.SetHint(workers) // the census probe: runnable ≫ hardware contexts
+	defer mon.SetHint(0)
+	// Let the monitor observe the hint, with a bound so a stalled ticker
+	// cannot hang the scenario before its own deadline arms.
+	hintSeen := time.Now().Add(time.Second)
+	for start := mon.Rounds(); mon.Rounds() < start+2 && time.Now().Before(hintSeen); {
+		time.Sleep(time.Millisecond)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				svc.Lock(hotKey)
+				// Yield while holding so arrivals genuinely overlap the
+				// critical section even on GOMAXPROCS=1 — otherwise a
+				// single-P run serialises perfectly and no acquisition
+				// ever observes the lock held.
+				runtime.Gosched()
+				cycles.Wait(512)
+				svc.Unlock(hotKey)
+			}
+		}()
+	}
+	toMutex := func(l *telemetry.LockSnapshot) bool {
+		if l == nil {
+			return false
+		}
+		for _, tr := range l.Transitions {
+			if tr.To == glk.ModeMutex.String() {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if toMutex(reg.Snapshot().Lock(hotKey)) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	const what = "mutex-mode transition under oversubscription"
+	snap := reg.Snapshot()
+	if err := snap.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		return what, false
+	}
+	hot := snap.Lock(hotKey)
+	return what, toMutex(hot) && hot.Contended > 0
+}
+
 func main() {
-	bug := flag.String("bug", "all", "scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, all")
+	bug := flag.String("bug", "all",
+		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, all")
 	flag.Parse()
 
-	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock"}
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription"}
 	if *bug != "all" {
 		if _, ok := scenarios[*bug]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)
@@ -98,6 +203,16 @@ func main() {
 	failures := 0
 	for _, name := range names {
 		sc := scenarios[name]
+		if sc.custom != nil {
+			fmt.Printf("--- scenario %q ---\n", name)
+			if what, ok := sc.custom(); ok {
+				fmt.Printf("=> detected: %s\n\n", what)
+			} else {
+				fmt.Printf("=> MISSED: %s\n\n", what)
+				failures++
+			}
+			continue
+		}
 		detected := make(chan gls.Issue, 16)
 		svc := gls.New(gls.Options{
 			Debug:                 true,
@@ -114,7 +229,7 @@ func main() {
 			},
 		})
 		fmt.Printf("--- scenario %q ---\n", name)
-		sc.run(svc)
+		sc.plant(svc)
 
 		ok := false
 		deadline := time.After(5 * time.Second)

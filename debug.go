@@ -295,43 +295,30 @@ func (s *Service) debugPreLock(me gid.ID, e *entry, created bool, requested lock
 	}
 }
 
-// debugLock acquires e's lock with owner/waiting bookkeeping.
+// debugLock acquires e's lock with owner/waiting bookkeeping. Profile and
+// telemetry statistics need no handling here: they are recorded inside the
+// lock object itself (the TryLock probe and the Lock both land in the same
+// per-lock accumulator, and failed probes are netted out as TryLock
+// failures). One visible consequence: with Debug and telemetry combined,
+// the raw arrivals/try-fail columns include the probes — a contended
+// debug-mode Lock reads as two arrivals and one TryLock failure — while
+// acquisitions stay exact. Debug mode is a diagnostic configuration; its
+// reports describe what the service did on the lock, probes included.
 func (s *Service) debugLock(me gid.ID, e *entry) {
-	prof := s.opts.Profile
-	var start time.Time
-	if prof {
-		e.present.Add(1)
-		start = time.Now()
-	}
 	if !e.lock.TryLock() {
 		s.dbg.setWaiting(me, e.key)
 		e.lock.Lock()
 		s.dbg.clearWaiting(me)
 	}
 	e.owner.Store(uint64(me))
-	if prof {
-		s.profileAfterAcquire(e, start)
-	}
 }
 
 // debugTryLock try-acquires e's lock with owner bookkeeping.
 func (s *Service) debugTryLock(me gid.ID, e *entry) bool {
-	prof := s.opts.Profile
-	var start time.Time
-	if prof {
-		e.present.Add(1)
-		start = time.Now()
-	}
 	if !e.lock.TryLock() {
-		if prof {
-			e.present.Add(-1)
-		}
 		return false
 	}
 	e.owner.Store(uint64(me))
-	if prof {
-		s.profileAfterAcquire(e, start)
-	}
 	return true
 }
 
@@ -374,10 +361,6 @@ func (s *Service) debugUnlock(key uint64, e *entry) {
 		return
 	}
 	e.owner.Store(0)
-	if s.opts.Profile {
-		e.profCSLat.Add(uint64(time.Since(e.csStart)))
-		e.present.Add(-1)
-	}
 	e.lock.Unlock()
 }
 

@@ -1,22 +1,27 @@
-// Lock profiling with GLS (paper §4.3).
+// Lock profiling with GLS (paper §4.3), on top of the glstat telemetry
+// subsystem.
 //
 // A small pipeline shares four locks with very different contention
-// profiles. GLS profile mode reports per-lock average queuing, acquisition
-// latency, and critical-section length — the report that, in the paper,
-// pinpoints which SQLite and Memcached locks were about to become
-// scalability bottlenecks.
+// profiles. The service feeds an always-on telemetry registry; afterwards
+// we print the /proc/lock_stat-style contention report (labels included),
+// then the paper's classic §4.3 profile lines — which are now just a
+// reshaping of the same registry data — and finally the interpretation
+// that, in the paper, pinpoints which SQLite and Memcached locks were about
+// to become scalability bottlenecks.
 //
 //	go run ./examples/profiler
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
 
 	"gls"
 	"gls/internal/cycles"
+	"gls/telemetry"
 )
 
 // Keys for the four locks, named as a real system would name them.
@@ -27,14 +32,30 @@ const (
 	journalTail                      // hot with long critical sections
 )
 
-func main() {
-	svc := gls.New(gls.Options{Profile: true})
+var names = map[uint64]string{
+	globalRegistry: "globalRegistry",
+	statsCounter:   "statsCounter",
+	configState:    "configState",
+	journalTail:    "journalTail",
+}
+
+// run drives the workload for d and writes the reports to w (separated
+// from main so the smoke test can execute the whole example).
+func run(w io.Writer, d time.Duration) error {
+	// Profiling fidelity: time every acquisition. A production service
+	// would keep the default period and leave the registry on permanently.
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	svc := gls.New(gls.Options{Profile: true, Telemetry: reg})
 	defer svc.Close()
+	for key, name := range names {
+		svc.InitLock(key)
+		reg.SetLabel(key, name)
+	}
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	time.AfterFunc(400*time.Millisecond, func() { close(stop) })
-	for w := 0; w < 6; w++ {
+	time.AfterFunc(d, func() { close(stop) })
+	for g := 0; g < 6; g++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -64,24 +85,33 @@ func main() {
 					svc.Unlock(journalTail)
 				}
 			}
-		}(w)
+		}(g)
 	}
 	wg.Wait()
 
-	names := map[uint64]string{
-		globalRegistry: "globalRegistry",
-		statsCounter:   "statsCounter",
-		configState:    "configState",
-		journalTail:    "journalTail",
+	fmt.Fprintln(w, "glstat report (most contended first):")
+	if err := reg.Snapshot().WriteText(w); err != nil {
+		return err
 	}
-	fmt.Println("raw report (most contended first):")
-	svc.ProfileReport(os.Stdout)
 
-	fmt.Println("\ninterpreted:")
+	fmt.Fprintln(w, "\nclassic §4.3 profile (same registry, paper units):")
+	if err := svc.ProfileReport(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\ninterpreted:")
 	for _, st := range svc.ProfileStats() {
-		fmt.Printf("  %-16s queue %.2f, lock-lat %v, cs %v over %d acquisitions\n",
+		fmt.Fprintf(w, "  %-16s queue %.2f, lock-lat %v, cs %v over %d acquisitions\n",
 			names[st.Key], st.AvgQueue, st.AvgLockLatency, st.AvgCSLatency, st.Acquisitions)
 	}
-	fmt.Println("\nthe journalTail/globalRegistry locks are the scalability risks;")
-	fmt.Println("configState is slow but idle — exactly the distinction §4.3 is for.")
+	fmt.Fprintln(w, "\nthe journalTail/globalRegistry locks are the scalability risks;")
+	fmt.Fprintln(w, "configState is slow but idle — exactly the distinction §4.3 is for.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout, 400*time.Millisecond); err != nil {
+		fmt.Fprintf(os.Stderr, "profiler: %v\n", err)
+		os.Exit(1)
+	}
 }

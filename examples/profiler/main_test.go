@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"gls"
+	"gls/telemetry"
+)
+
+// TestProfilerExampleRuns smoke-tests the whole example: the workload, the
+// glstat text report, and the classic profile view it now derives from the
+// same registry.
+func TestProfilerExampleRuns(t *testing.T) {
+	var b bytes.Buffer
+	if err := run(&b, 60*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"[glstat] locks: 4",
+		"globalRegistry",
+		"journalTail",
+		"[GLS] queue:",
+		"interpreted:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProfilerExportRoundTrip exercises the JSON export path end to end
+// from an example-shaped workload: snapshot → JSON → parse → same hot lock.
+func TestProfilerExportRoundTrip(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	svc := gls.New(gls.Options{Telemetry: reg})
+	defer svc.Close()
+	for i := 0; i < 20; i++ {
+		svc.Lock(globalRegistry)
+		svc.Unlock(globalRegistry)
+	}
+	reg.SetLabel(globalRegistry, names[globalRegistry])
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := telemetry.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := snap.Lock(globalRegistry)
+	if l == nil || l.Acquisitions != 20 || l.Label != "globalRegistry" {
+		t.Fatalf("exported snapshot: %+v", l)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"gls/internal/stripe"
 	"gls/internal/sysmon"
 	"gls/locks"
+	"gls/telemetry"
 )
 
 // Mode identifies which low-level algorithm a GLK lock is operating as.
@@ -124,6 +125,13 @@ type Config struct {
 	// The paper's §4.3: "GLK can be configured to print the mode transitions
 	// that it performs, as well as the reason behind each transition."
 	OnTransition func(from, to Mode, reason string)
+	// Stats, if non-nil, receives this lock's telemetry: arrivals,
+	// contended acquisitions, TryLock failures, sampled wait/hold latencies
+	// and queue lengths, and mode transitions (package telemetry). The
+	// instrumented paths are selected once, at construction — a lock built
+	// without Stats runs the exact uninstrumented hot path, gated by a
+	// single predicted branch on the already-hot config line.
+	Stats *telemetry.LockStats
 }
 
 // withDefaults returns a copy of c with zero fields replaced by defaults.
@@ -250,6 +258,9 @@ func New(cfg *Config) *Lock {
 		initial = ModeTicket
 	}
 	l.lockType.Store(uint32(initial))
+	if c.Stats != nil {
+		c.Stats.SetMode(initial.String())
+	}
 	return l
 }
 
@@ -272,6 +283,10 @@ func (l *Lock) Transitions() uint64 { return l.transitions.Load() }
 func (l *Lock) Lock() {
 	tok := stripe.Self()
 	l.present.Add(tok, 1)
+	if l.cfg.Stats != nil {
+		l.lockInstrumented(tok)
+		return
+	}
 	for {
 		cur := Mode(l.lockType.Load())
 		l.lockLow(cur)
@@ -286,10 +301,35 @@ func (l *Lock) Lock() {
 	}
 }
 
+// lockInstrumented is Lock's telemetry twin: same adaptation loop, plus a
+// try-first probe of the low-level lock so a blocked arrival is counted as
+// a contended acquisition, and the Arrive/Acquired hook pair around it.
+func (l *Lock) lockInstrumented(tok uint64) {
+	a := l.cfg.Stats.Arrive(tok)
+	contended := false
+	for {
+		cur := Mode(l.lockType.Load())
+		if !l.tryLockLow(cur) {
+			contended = true
+			l.lockLow(cur)
+		}
+		if Mode(l.lockType.Load()) == cur && !l.tryAdapt(cur) {
+			l.acquiredMode = cur
+			l.presentToken = tok
+			a.Acquired(contended)
+			return
+		}
+		l.unlockLow(cur)
+	}
+}
+
 // TryLock attempts to acquire l without waiting.
 func (l *Lock) TryLock() bool {
 	tok := stripe.Self()
 	l.present.Add(tok, 1)
+	if l.cfg.Stats != nil {
+		return l.tryLockInstrumented(tok)
+	}
 	for {
 		cur := Mode(l.lockType.Load())
 		if !l.tryLockLow(cur) {
@@ -305,10 +345,35 @@ func (l *Lock) TryLock() bool {
 	}
 }
 
+// tryLockInstrumented is TryLock's telemetry twin.
+func (l *Lock) tryLockInstrumented(tok uint64) bool {
+	a := l.cfg.Stats.Arrive(tok)
+	for {
+		cur := Mode(l.lockType.Load())
+		if !l.tryLockLow(cur) {
+			l.present.Add(tok, -1)
+			a.Failed()
+			return false
+		}
+		if Mode(l.lockType.Load()) == cur && !l.tryAdapt(cur) {
+			l.acquiredMode = cur
+			l.presentToken = tok
+			a.Acquired(false)
+			return true
+		}
+		l.unlockLow(cur)
+	}
+}
+
 // Unlock releases l. It must be called by the goroutine that acquired it.
 func (l *Lock) Unlock() {
 	m := l.acquiredMode
 	l.acquiredMode = 0
+	if l.cfg.Stats != nil {
+		// Record the hold sample while still holding: the hold timer is
+		// holder-only state.
+		l.cfg.Stats.Release(l.presentToken)
+	}
 	// Repay the stripe taken in Lock/TryLock while still holding the lock:
 	// presentToken is holder-only state.
 	l.present.Add(l.presentToken, -1)
@@ -414,6 +479,9 @@ func (l *Lock) tryAdapt(cur Mode) bool {
 	}
 	l.lockType.Store(uint32(target))
 	l.transitions.Add(1)
+	if l.cfg.Stats != nil {
+		l.cfg.Stats.Transition(cur.String(), target.String(), reason)
+	}
 	if l.cfg.OnTransition != nil {
 		l.cfg.OnTransition(cur, target, reason)
 	}

@@ -17,13 +17,18 @@
 // Package-level Lock/TryLock/Unlock/Free operate on a lazily-created
 // process-wide Service with default options.
 //
-// Two extensions mirror the paper's §4.2 and §4.3:
+// Three extensions mirror and extend the paper's §4.2 and §4.3:
 //
 //   - debug mode (Options.Debug) detects uninitialized locks, double
 //     locking, releasing a free lock, releasing a lock owned by another
 //     goroutine, and deadlocks (via a background wait-for-graph walk);
 //   - profile mode (Options.Profile) records per-lock queuing, acquisition
-//     latency, and critical-section length, reported by ProfileReport.
+//     latency, and critical-section length, reported by ProfileReport;
+//   - always-on telemetry (Options.Telemetry, package telemetry) feeds a
+//     glstat registry — per-lock acquisitions, contention, sampled
+//     latencies, GLK mode transitions — cheap enough for production, with
+//     a /proc/lock_stat-style report, snapshot diffs, JSON export, and
+//     HTTP/expvar endpoints (telemetry/telemetryhttp, cmd/glsstat).
 package gls
 
 import (

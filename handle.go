@@ -12,19 +12,29 @@ import "gls/locks"
 // cache lives in an explicit handle instead (see DESIGN.md). Create one
 // Handle per goroutine with NewHandle; a Handle must not be shared.
 //
-// Handles bypass the debug and profile instrumentation; they are the
-// latency-optimized path the paper's Figure 11 measures.
+// Handles bypass the debug checks; they are the latency-optimized path the
+// paper's Figure 11 measures. Telemetry (and therefore profiling) is not
+// bypassed: those hooks live inside the lock objects themselves, so handle
+// acquisitions are observed like any other.
 type Handle struct {
 	s        *Service
 	lastKey  uint64
 	lastLock locks.Lock
-	// epoch is the service's freeEpoch at the time the pair was cached. A
-	// Free anywhere in the service bumps that counter, so a stale cache —
-	// key freed, then possibly remapped to a brand-new lock — is detected
-	// by one atomic load instead of a table lookup. Frees are rare; cache
-	// hits stay one compare in the common case.
+	// epoch is the service's free counter at the time the pair was cached
+	// (noFreeEpoch when a Free was in flight then, which never validates).
+	// A Free anywhere in the service bumps freeStart before it touches
+	// the table, so a stale cache — key freed, then possibly remapped to
+	// a brand-new lock — is detected by two atomic loads of one line
+	// instead of a table lookup. Frees are rare; cache hits stay two
+	// compares in the common case.
 	epoch uint64
 }
+
+// noFreeEpoch is the cache-epoch sentinel for pairs resolved while a Free
+// was in flight: it never matches a real counter value, so such a pair is
+// cached but never trusted. (The free counters would need 2^64 Frees to
+// reach it.)
+const noFreeEpoch = ^uint64(0)
 
 // NewHandle returns a fresh handle bound to s.
 func (s *Service) NewHandle() *Handle {
@@ -32,14 +42,29 @@ func (s *Service) NewHandle() *Handle {
 }
 
 // lookup resolves key via the one-entry cache.
+//
+// The staleness protocol (see Service.freeStart): a hit requires both free
+// counters to equal the cached epoch — freeStart catches any Free that has
+// so much as begun since the pair was resolved, freeDone catches Frees
+// that were already mid-delete back then. The miss path snapshots the
+// counters *before* resolving and only trusts the pair if no Free was in
+// flight, so a lookup racing a delete can cache but never hit. A Free
+// racing the acquisition itself (resolve, then the lock is freed and the
+// key remapped before Lock returns) is the caller's lifecycle hazard, with
+// or without a handle, exactly as in the paper.
 func (h *Handle) lookup(key uint64) locks.Lock {
-	if key == h.lastKey && h.lastLock != nil && h.s.freeEpoch.Load() == h.epoch {
-		return h.lastLock
+	if key == h.lastKey && h.lastLock != nil {
+		if e := h.s.freeDone.Load(); e == h.epoch && h.s.freeStart.Load() == e {
+			return h.lastLock
+		}
 	}
-	// Read the epoch before resolving: if a Free races with this lookup,
-	// the cached epoch is already behind and the next lookup re-resolves.
-	epoch := h.s.freeEpoch.Load()
+	done := h.s.freeDone.Load()
+	start := h.s.freeStart.Load()
 	e, _ := h.s.entryFor(key, algoGLK)
+	epoch := start
+	if start != done {
+		epoch = noFreeEpoch // a Free was in flight: never trust this pair
+	}
 	h.lastKey, h.lastLock, h.epoch = key, e.lock, epoch
 	return e.lock
 }

@@ -1,0 +1,83 @@
+package stripe
+
+import (
+	"sync/atomic"
+
+	"gls/internal/pad"
+)
+
+// LaneSlots is the number of uint64 counters packed into one lane: exactly
+// one cache line's worth (eight 8-byte slots on 64-byte lines), so a lane
+// of related counters (arrivals, contention, latency sums, ...) costs the
+// same coherence footprint as a single striped counter cell.
+const LaneSlots = pad.CacheLineSize / 8
+
+// NumLanes is the number of lanes a Lanes value stripes its counters over.
+// It is deliberately smaller than NumStripes: a Counter guards the sampling
+// path of a single hot lock, where any sharing between arriving goroutines
+// turns into the exact line bounce it exists to remove, while Lanes carries
+// telemetry for *every* lock in a service, so per-lock footprint matters as
+// much as write scaling (cf. the 512B-per-lock cost of the presence stripes,
+// ROADMAP "footprint"). Four lanes keep a full telemetry block at 256B —
+// half a presence counter — while still splitting simultaneous arrivals
+// across lines; a telemetry write that occasionally shares a line is an
+// atomic add, not a spin, so the penalty is a bounced line, not a convoy.
+const NumLanes = 4
+
+// laneCells is one lane: LaneSlots counters filling their cache line
+// exactly (no pad field — a trailing zero-length array would itself add
+// padding; lanes_test.go pins the size).
+type laneCells struct {
+	slots [LaneSlots]atomic.Uint64
+}
+
+// Lanes is a striped array of LaneSlots uint64 counters: slot s is split
+// across NumLanes cells, and a goroutine's updates to *all* slots land in
+// the lane picked by its token, so one operation's counter updates share one
+// (usually private) cache line. The zero value is ready to use and reads
+// zero everywhere. Embed it on a cache-line boundary, like Counter.
+//
+// Slots hold raw uint64 adds; a "decrement" is Add of ^uint64(0). Per-lane
+// values may individually wrap below zero (a goroutine can increment in one
+// lane and decrement in another), but Sum is exact modulo 2^64, so any slot
+// whose true total is non-negative reads correctly.
+type Lanes struct {
+	lanes [NumLanes]laneCells
+}
+
+// Add adds delta to slot in the lane selected by token: one atomic add on
+// one cache line, never spinning, blocking, or allocating. Tokens are the
+// same per-goroutine values Self returns.
+func (l *Lanes) Add(token uint64, slot int, delta uint64) {
+	l.lanes[token&(NumLanes-1)].slots[slot].Add(delta)
+}
+
+// AddGet is Add returning the lane-local counter value after the add.
+// Callers use the per-lane (not global) count for cheap modular sampling
+// decisions: "every Nth update in this lane" needs no cross-line traffic.
+func (l *Lanes) AddGet(token uint64, slot int, delta uint64) uint64 {
+	return l.lanes[token&(NumLanes-1)].slots[slot].Add(delta)
+}
+
+// Sum returns the total of slot across all lanes. Concurrent Adds may or
+// may not be observed; the result is exact once updaters are quiescent.
+func (l *Lanes) Sum(slot int) uint64 {
+	var s uint64
+	for i := range l.lanes {
+		s += l.lanes[i].slots[slot].Load()
+	}
+	return s
+}
+
+// SumAll returns the totals of every slot in one pass over the lanes, for
+// snapshot readers that want a consistent-ish view at NumLanes line reads
+// instead of LaneSlots*NumLanes.
+func (l *Lanes) SumAll() [LaneSlots]uint64 {
+	var out [LaneSlots]uint64
+	for i := range l.lanes {
+		for s := 0; s < LaneSlots; s++ {
+			out[s] += l.lanes[i].slots[s].Load()
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package stripe
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"gls/internal/pad"
+)
+
+func TestLanesZeroValueReadsZero(t *testing.T) {
+	var l Lanes
+	for s := 0; s < LaneSlots; s++ {
+		if got := l.Sum(s); got != 0 {
+			t.Errorf("Sum(%d) = %d on zero value", s, got)
+		}
+	}
+}
+
+func TestLanesSumIsExact(t *testing.T) {
+	var l Lanes
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(tok uint64) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Add(tok, 0, 1)
+				l.Add(tok, 3, 2)
+			}
+		}(uint64(g) * 7)
+	}
+	wg.Wait()
+	if got := l.Sum(0); got != goroutines*perG {
+		t.Errorf("Sum(0) = %d, want %d", got, goroutines*perG)
+	}
+	if got := l.Sum(3); got != 2*goroutines*perG {
+		t.Errorf("Sum(3) = %d, want %d", got, 2*goroutines*perG)
+	}
+	if got := l.Sum(1); got != 0 {
+		t.Errorf("Sum(1) = %d, want 0 (untouched slot)", got)
+	}
+}
+
+// TestLanesCrossLaneDecrement pins the wraparound contract: increments in
+// one lane balanced by decrements in another still sum to the true total.
+func TestLanesCrossLaneDecrement(t *testing.T) {
+	var l Lanes
+	l.Add(0, 2, 1)
+	l.Add(1, 2, 1)
+	l.Add(2, 2, ^uint64(0)) // decrement in a lane that never saw the increment
+	if got := l.Sum(2); got != 1 {
+		t.Errorf("Sum(2) = %d, want 1 after cross-lane decrement", got)
+	}
+}
+
+func TestLanesAddGetIsLaneLocal(t *testing.T) {
+	var l Lanes
+	// Tokens 0 and NumLanes collide on lane 0; token 1 is a different lane.
+	if n := l.AddGet(0, 0, 1); n != 1 {
+		t.Fatalf("first AddGet in lane 0 = %d, want 1", n)
+	}
+	if n := l.AddGet(NumLanes, 0, 1); n != 2 {
+		t.Fatalf("second AddGet in lane 0 = %d, want 2", n)
+	}
+	if n := l.AddGet(1, 0, 1); n != 1 {
+		t.Fatalf("first AddGet in lane 1 = %d, want 1 (lane-local count)", n)
+	}
+}
+
+func TestLanesSumAllMatchesSum(t *testing.T) {
+	var l Lanes
+	for tok := uint64(0); tok < 16; tok++ {
+		for s := 0; s < LaneSlots; s++ {
+			l.Add(tok, s, tok+uint64(s))
+		}
+	}
+	all := l.SumAll()
+	for s := 0; s < LaneSlots; s++ {
+		if all[s] != l.Sum(s) {
+			t.Errorf("SumAll[%d] = %d, Sum = %d", s, all[s], l.Sum(s))
+		}
+	}
+}
+
+// TestLanesLayout pins the geometry: one lane is a whole number of cache
+// lines, so a line-aligned Lanes keeps lanes off each other's lines.
+func TestLanesLayout(t *testing.T) {
+	var lc laneCells
+	if s := unsafe.Sizeof(lc); s%pad.CacheLineSize != 0 {
+		t.Errorf("laneCells is %d bytes, not a multiple of %d", s, pad.CacheLineSize)
+	}
+	var l Lanes
+	if s := unsafe.Sizeof(l); s != unsafe.Sizeof(lc)*NumLanes {
+		t.Errorf("Lanes is %d bytes, want %d", s, unsafe.Sizeof(lc)*NumLanes)
+	}
+	if NumLanes&(NumLanes-1) != 0 {
+		t.Errorf("NumLanes = %d, not a power of two (token masking requires it)", NumLanes)
+	}
+}

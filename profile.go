@@ -9,46 +9,12 @@ import (
 	"gls/internal/cycles"
 )
 
-// profileLock acquires e's lock while recording the §4.3 statistics.
-func (s *Service) profileLock(e *entry) {
-	e.present.Add(1)
-	start := time.Now()
-	e.lock.Lock()
-	s.profileAfterAcquire(e, start)
-}
-
-// profileTryLock try-acquires e's lock while recording statistics.
-func (s *Service) profileTryLock(e *entry) bool {
-	e.present.Add(1)
-	start := time.Now()
-	if !e.lock.TryLock() {
-		e.present.Add(-1)
-		return false
-	}
-	s.profileAfterAcquire(e, start)
-	return true
-}
-
-// profileAfterAcquire records the acquisition latency and queue sample.
-// Called by the new holder, immediately after acquiring.
-func (s *Service) profileAfterAcquire(e *entry, start time.Time) {
-	now := time.Now()
-	e.profLockLat.Add(uint64(now.Sub(start)))
-	q := e.present.Load()
-	if q < 0 {
-		q = 0
-	}
-	e.profQueue.Add(uint64(q))
-	e.profCount.Add(1)
-	e.csStart = now
-}
-
-// profileUnlock records the critical-section duration and releases.
-func (s *Service) profileUnlock(e *entry) {
-	e.profCSLat.Add(uint64(time.Since(e.csStart)))
-	e.present.Add(-1)
-	e.lock.Unlock()
-}
+// Profile mode (§4.3) is a thin consumer of the telemetry subsystem: the
+// per-lock accumulation that used to live here (a parallel set of entry
+// counters maintained by service-level wrappers) is gone, replaced by the
+// registry every instrumented lock feeds (see package telemetry and
+// Options.Telemetry). ProfileStats/ProfileReport only reshape a registry
+// snapshot into the paper's report.
 
 // ProfileStat is the per-lock profile of paper §4.3.
 type ProfileStat struct {
@@ -56,11 +22,13 @@ type ProfileStat struct {
 	Algorithm    string
 	Acquisitions uint64
 	// AvgQueue is the mean number of goroutines at the lock, sampled at
-	// each acquisition (holder included; an uncontended lock reads ~1).
+	// each timed acquisition (holder included; an uncontended lock reads
+	// ~1). With the private registry Profile creates, every acquisition is
+	// timed; a shared Options.Telemetry registry samples at its own period.
 	AvgQueue float64
-	// AvgLockLatency is the mean time spent acquiring.
+	// AvgLockLatency is the mean time spent acquiring (timed samples).
 	AvgLockLatency time.Duration
-	// AvgCSLatency is the mean critical-section duration.
+	// AvgCSLatency is the mean critical-section duration (timed samples).
 	AvgCSLatency time.Duration
 }
 
@@ -68,25 +36,31 @@ type ProfileStat struct {
 // first. It returns nil unless the service was created with
 // Options.Profile.
 func (s *Service) ProfileStats() []ProfileStat {
-	if !s.opts.Profile {
+	if !s.opts.Profile || s.tele == nil {
 		return nil
 	}
-	var out []ProfileStat
-	s.table.Range(func(key uint64, e *entry) bool {
-		n := e.profCount.Load()
-		if n == 0 {
-			return true
+	snap := s.tele.Snapshot()
+	out := make([]ProfileStat, 0, len(snap.Locks))
+	for i := range snap.Locks {
+		l := &snap.Locks[i]
+		if l.Acquisitions == 0 {
+			continue
+		}
+		// A shared registry (telemetry.Default()) may carry other
+		// services' locks; the paper's profile is per-service, so keep
+		// only keys this service currently maps (one wait-free Get each).
+		if s.table.Get(l.Key) == nil {
+			continue
 		}
 		out = append(out, ProfileStat{
-			Key:            key,
-			Algorithm:      algoName(e.algo),
-			Acquisitions:   n,
-			AvgQueue:       float64(e.profQueue.Load()) / float64(n),
-			AvgLockLatency: time.Duration(e.profLockLat.Load() / n),
-			AvgCSLatency:   time.Duration(e.profCSLat.Load() / n),
+			Key:            l.Key,
+			Algorithm:      l.Kind,
+			Acquisitions:   l.Acquisitions,
+			AvgQueue:       l.AvgQueue(),
+			AvgLockLatency: l.AvgWait(),
+			AvgCSLatency:   l.AvgHold(),
 		})
-		return true
-	})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].AvgQueue > out[j].AvgQueue })
 	return out
 }
@@ -97,7 +71,9 @@ func (s *Service) ProfileStats() []ProfileStat {
 //	[GLS] queue: 4.50 | l-lat: 13963 | cs-lat: 2848 @ (0x7fe6318eb4e0:mcs)
 //
 // Latencies are printed in CPU cycles at the calibrated nominal frequency,
-// matching the paper's units.
+// matching the paper's units. For the richer always-on view (contention
+// ratios, mode transitions, exports), read the telemetry registry directly:
+// Telemetry().Snapshot().WriteText.
 func (s *Service) ProfileReport(w io.Writer) error {
 	stats := s.ProfileStats()
 	if stats == nil {

@@ -13,6 +13,7 @@ import (
 	"gls/internal/gid"
 	"gls/internal/pad"
 	"gls/locks"
+	"gls/telemetry"
 )
 
 // algoGLK is the internal algorithm tag for GLK-managed entries. It is
@@ -60,7 +61,24 @@ type Options struct {
 	// Profile enables per-lock statistics (§4.3): average queuing,
 	// acquisition latency, and critical-section duration. Read the results
 	// with ProfileReport or ProfileStats.
+	//
+	// Profile is a fidelity preset over the telemetry subsystem: with no
+	// Telemetry registry supplied, it creates a private one that times
+	// every acquisition (sample period 1). Unlike the paper's profile
+	// mode, it no longer forces the service off its fast path — the
+	// instrumentation lives inside the lock objects.
 	Profile bool
+
+	// Telemetry, if non-nil, is the glstat registry this service feeds:
+	// every lock the service creates is registered there and accumulates
+	// always-on statistics (acquisitions, contention, sampled latencies
+	// and queue lengths, GLK mode transitions — see package telemetry).
+	// The hooks are wired into each lock object at entry construction, so
+	// services without telemetry run the exact zero-options fast path with
+	// no per-operation branches. Use telemetry.Default() for the
+	// process-wide registry, or a private Registry to scope or tune
+	// sampling.
+	Telemetry *telemetry.Registry
 
 	// Stderr overrides the default issue report destination (tests).
 	Stderr io.Writer
@@ -74,33 +92,23 @@ type entryHeader struct {
 	lock locks.Lock
 }
 
-// entryStats is the mutable debug/profile part of an entry.
+// entryStats is the mutable debug part of an entry. The profile-mode
+// accumulators that used to live here moved into the telemetry subsystem
+// (each lock's LockStats), so an entry carries only the debug owner word.
 type entryStats struct {
 	// owner is the goroutine currently holding the lock (0 = free).
 	// Maintained only in debug mode.
 	owner atomic.Uint64
-
-	// present counts goroutines at this entry (waiting or holding).
-	// Maintained only in profile mode.
-	present atomic.Int32
-
-	// Profile accumulators. Sums are atomics because ProfileReport reads
-	// them while workers write; csStart is holder-only state.
-	profCount   atomic.Uint64
-	profLockLat atomic.Uint64 // nanoseconds
-	profCSLat   atomic.Uint64 // nanoseconds
-	profQueue   atomic.Uint64
-	csStart     time.Time
 }
 
-// entry is the lock object a key maps to, plus its debug/profile metadata.
-// The header and the stats are separated by a full line of padding so the
+// entry is the lock object a key maps to, plus its debug metadata. The
+// header and the stats are separated by a full line of padding so the
 // (key, lock) words the lookup path reads never share a cache line with the
-// accumulators the debug/profile paths write — otherwise every profiled
-// acquisition would invalidate the line every other goroutine needs just to
-// find its lock (§3.2's false-sharing rule, applied to the table values).
-// The trailing pad keeps the entry a whole number of lines so heap slots
-// stay line-aligned; layout_test.go pins both invariants.
+// owner word the debug path writes — otherwise every debug-mode acquisition
+// would invalidate the line every other goroutine needs just to find its
+// lock (§3.2's false-sharing rule, applied to the table values). The
+// trailing pad keeps the entry a whole number of lines so heap slots stay
+// line-aligned; layout_test.go pins both invariants.
 type entry struct {
 	entryHeader
 	_ [(pad.CacheLineSize - unsafe.Sizeof(entryHeader{})%pad.CacheLineSize) % pad.CacheLineSize]byte
@@ -116,16 +124,32 @@ type Service struct {
 	table *clht.Table[entry]
 	dbg   *debugState // nil unless Options.Debug
 
-	// fast is precomputed at New: no debug, no profile. The hot entry
-	// points check this one bool instead of re-deriving the service's mode
-	// from the options on every call, so the zero-options path is a
-	// wait-free table Get plus the lock call and nothing else.
+	// tele is the telemetry registry the service's locks feed, nil when
+	// telemetry (and profiling) are off. It is consulted only at entry
+	// construction and in Free — never on the lock/unlock paths, which see
+	// telemetry solely through the hooks compiled into each lock object.
+	tele *telemetry.Registry
+
+	// fast is precomputed at New: no debug. The hot entry points check
+	// this one bool instead of re-deriving the service's mode from the
+	// options on every call, so the non-debug path is a wait-free table
+	// Get plus the lock call and nothing else. (Profile/telemetry no
+	// longer force the slow path: their instrumentation is resolved into
+	// the lock objects when entries are built.)
 	fast bool
 
-	// freeEpoch counts Free calls. Handles validate their cached (key,
-	// lock) pair against it, so a key freed and remapped by another
-	// goroutine cannot be locked through a stale cache (see handle.go).
-	freeEpoch atomic.Uint64
+	// freeStart/freeDone count Free calls, seqlock style: freeStart is
+	// bumped before the table delete, freeDone after, so the pair is equal
+	// exactly when no Free is in flight. Handles validate their cached
+	// (key, lock) pair against both counters and only cache when the pair
+	// was equal at resolution, so a key freed and remapped by another
+	// goroutine cannot be locked through a stale cache — including caches
+	// populated while a Free was mid-delete, and with any number of
+	// concurrent Frees (see handle.go). The counters share a cache line,
+	// so the hit-path check is two loads of one line that only changes
+	// when something is freed.
+	freeStart atomic.Uint64
+	freeDone  atomic.Uint64
 
 	issueCounts [issueKindCount]atomic.Uint64
 	closed      atomic.Bool
@@ -142,10 +166,17 @@ func New(opts Options) *Service {
 	if opts.Stderr == nil {
 		opts.Stderr = os.Stderr
 	}
+	tele := opts.Telemetry
+	if tele == nil && opts.Profile {
+		// Profile mode with no explicit registry: a private one timing
+		// every acquisition, matching the paper's per-operation profiling.
+		tele = telemetry.New(telemetry.Options{SamplePeriod: 1})
+	}
 	s := &Service{
 		opts:  opts,
 		table: clht.New[entry](opts.SizeHint),
-		fast:  !opts.Debug && !opts.Profile,
+		tele:  tele,
+		fast:  !opts.Debug,
 	}
 	if opts.Debug {
 		s.dbg = newDebugState()
@@ -153,6 +184,11 @@ func New(opts Options) *Service {
 	}
 	return s
 }
+
+// Telemetry returns the registry this service feeds: the one supplied in
+// Options.Telemetry, the private registry Profile created, or nil when the
+// service runs uninstrumented.
+func (s *Service) Telemetry() *telemetry.Registry { return s.tele }
 
 // Close stops the service's background machinery (gls_destroy). The lock
 // table remains usable — Close only halts deadlock detection — but callers
@@ -166,10 +202,28 @@ func (s *Service) Close() {
 	}
 }
 
-// newEntry builds the lock object for a key on first use.
+// newEntry builds the lock object for a key on first use. Telemetry is
+// resolved here, once per lock: a GLK lock gets the hooks compiled in via
+// its config, any explicit algorithm is wrapped by telemetry.Instrument,
+// and without a registry the locks are built exactly as before — the
+// lock/unlock paths never branch on whether telemetry is on.
 func (s *Service) newEntry(key uint64, algo locks.Algorithm) func() *entry {
 	return func() *entry {
 		e := &entry{entryHeader: entryHeader{key: key, algo: algo}}
+		if s.tele != nil {
+			st := s.tele.Register(key, algoName(algo))
+			if algo == algoGLK {
+				var cfg glk.Config
+				if s.opts.GLK != nil {
+					cfg = *s.opts.GLK
+				}
+				cfg.Stats = st
+				e.lock = glk.New(&cfg)
+			} else {
+				e.lock = telemetry.Instrument(locks.New(algo), st)
+			}
+			return e
+		}
 		if algo == algoGLK {
 			e.lock = glk.New(s.opts.GLK)
 		} else {
@@ -222,10 +276,6 @@ func (s *Service) lockWith(a locks.Algorithm, key uint64) {
 		s.debugLock(me, e)
 		return
 	}
-	if s.opts.Profile {
-		s.profileLock(e)
-		return
-	}
 	e.lock.Lock()
 }
 
@@ -254,9 +304,6 @@ func (s *Service) tryLockWith(a locks.Algorithm, key uint64) bool {
 		s.debugPreLock(me, e, created, a)
 		return s.debugTryLock(me, e)
 	}
-	if s.opts.Profile {
-		return s.profileTryLock(e)
-	}
 	return e.lock.TryLock()
 }
 
@@ -279,18 +326,7 @@ func (s *Service) Unlock(key uint64) {
 		e.lock.Unlock()
 		return
 	}
-	if s.dbg != nil {
-		s.debugUnlock(key, e)
-		return
-	}
-	if e == nil {
-		panic(fmt.Sprintf("gls: Unlock(%#x): key was never locked", key))
-	}
-	if s.opts.Profile {
-		s.profileUnlock(e)
-		return
-	}
-	e.lock.Unlock()
+	s.debugUnlock(key, e)
 }
 
 // UnlockWith releases key's lock; a documents the algorithm the caller
@@ -351,11 +387,26 @@ func (s *Service) Free(key uint64) {
 		}
 		s.dbg.forget(key)
 	}
-	if s.table.Delete(key) != nil {
-		// Invalidate every Handle's cached (key, lock) pair: the key may be
-		// remapped to a fresh lock after this point (see Handle.lookup).
-		s.freeEpoch.Add(1)
+	if s.tele != nil {
+		// Fold the lock's counters into the registry's retired totals
+		// *before* the table delete: while the old entry is still mapped,
+		// a racing Lock(key) reuses it rather than registering a fresh
+		// incarnation, so the unregister can never swallow a new lock's
+		// stats. The price is that operations landing on the old lock
+		// after this point (the delete window plus any stragglers, both
+		// the caller's lifecycle hazard) go uncounted; the next
+		// incarnation registers fresh and stays visible.
+		s.tele.Unregister(key)
 	}
+	// Bracket the delete with the free counters (see the freeStart field
+	// and Handle.lookup): freeStart makes every handle cache populated
+	// before this point miss, and the start/done inequality keeps lookups
+	// that run *during* the delete from caching at all. Both are bumped
+	// unconditionally (even for an unmapped key) so the pair stays equal
+	// at rest; Free is rare, so the spurious invalidation is noise.
+	s.freeStart.Add(1)
+	s.table.Delete(key)
+	s.freeDone.Add(1)
 }
 
 // Locks returns the number of lock objects currently mapped.

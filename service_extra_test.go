@@ -77,24 +77,25 @@ func TestFreeThenReuseGetsFreshLock(t *testing.T) {
 	<-acquired
 }
 
-// TestHandleBypassesProfiling: handles are the latency path; they do not
-// feed the profiler (documented behaviour).
-func TestHandleBypassesProfiling(t *testing.T) {
+// TestHandleFeedsProfiling: since profiling moved into the lock objects
+// (telemetry), the handle latency path is profiled too — it used to bypass
+// the service-level accumulators (documented behaviour, updated with the
+// glstat subsystem).
+func TestHandleFeedsProfiling(t *testing.T) {
 	s := newTestService(t, Options{Profile: true})
 	h := s.NewHandle()
 	h.Lock(3)
 	h.Unlock(3)
 	stats := s.ProfileStats()
-	for _, st := range stats {
-		if st.Key == 3 && st.Acquisitions > 0 {
-			t.Fatal("handle operations appeared in profile stats")
-		}
+	if len(stats) != 1 || stats[0].Key != 3 || stats[0].Acquisitions != 1 {
+		t.Fatalf("handle operations missing from profile stats: %+v", stats)
 	}
-	// Mixing handle and service calls still synchronises correctly.
+	// Mixing handle and service calls accumulates into the same entry.
 	s.Lock(3)
 	s.Unlock(3)
-	if got := len(s.ProfileStats()); got != 1 {
-		t.Fatalf("profile entries = %d, want 1", got)
+	stats = s.ProfileStats()
+	if len(stats) != 1 || stats[0].Acquisitions != 2 {
+		t.Fatalf("profile entries after mixed use: %+v", stats)
 	}
 }
 

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"gls/internal/stripe"
+	"gls/locks"
+)
+
+// instrumentedLock wraps a fixed-algorithm lock with telemetry hooks. GLK
+// locks do not use this wrapper — glk.Lock calls the hooks natively (set
+// glk.Config.Stats), which lets it also report mode transitions and detect
+// contention inside its retry loop — but the explicit Table-1 algorithms
+// (gls_A_lock) are plain locks.Lock values, so the service wraps them at
+// entry construction instead. Either way the instrumentation decision is
+// made once, when the lock is built: the code that locks and unlocks never
+// branches on whether telemetry is on.
+type instrumentedLock struct {
+	inner locks.Lock
+	st    *LockStats
+}
+
+// Instrument returns l with its acquisitions, contention, and sampled
+// latencies recorded into st. st must not be nil.
+func Instrument(l locks.Lock, st *LockStats) locks.Lock {
+	return &instrumentedLock{inner: l, st: st}
+}
+
+// Unwrap returns the lock underneath the instrumentation (tests,
+// introspection).
+func Unwrap(l locks.Lock) locks.Lock {
+	if w, ok := l.(*instrumentedLock); ok {
+		return w.inner
+	}
+	return l
+}
+
+func (w *instrumentedLock) Lock() {
+	tok := stripe.Self()
+	a := w.st.Arrive(tok)
+	// Probe before waiting: a failed TryLock is the "found it held"
+	// definition of a contended acquisition, the same one glk uses.
+	if w.inner.TryLock() {
+		a.Acquired(false)
+		return
+	}
+	w.inner.Lock()
+	a.Acquired(true)
+}
+
+func (w *instrumentedLock) TryLock() bool {
+	tok := stripe.Self()
+	a := w.st.Arrive(tok)
+	if !w.inner.TryLock() {
+		a.Failed()
+		return false
+	}
+	a.Acquired(false)
+	return true
+}
+
+func (w *instrumentedLock) Unlock() {
+	// Record while still holding: the hold timer is holder-only state.
+	// stripe.Self() may differ from the token used at Lock (different call
+	// depth); presence still sums correctly across lanes.
+	w.st.Release(stripe.Self())
+	w.inner.Unlock()
+}

@@ -1,0 +1,317 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// LockSnapshot is the frozen telemetry of one lock at Snapshot time. All
+// counters are totals since registration (or since the previous snapshot,
+// in a Diff).
+type LockSnapshot struct {
+	Key uint64 `json:"key"`
+	// Gen identifies the lock's registration incarnation: a key freed and
+	// re-created gets a new Gen, which is how Diff avoids subtracting
+	// counters across unrelated lives of one key.
+	Gen   uint64 `json:"gen,omitempty"`
+	Label string `json:"label,omitempty"`
+	Kind  string `json:"kind"`
+	Mode  string `json:"mode,omitempty"`
+
+	Arrivals     uint64 `json:"arrivals"`
+	Acquisitions uint64 `json:"acquisitions"`
+	Contended    uint64 `json:"contended"`
+	TryFails     uint64 `json:"trylock_failures"`
+
+	Samples    uint64 `json:"samples"`
+	WaitNanos  uint64 `json:"wait_ns_total"`
+	HoldNanos  uint64 `json:"hold_ns_total"`
+	QueueTotal uint64 `json:"queue_total"`
+
+	Present     int64        `json:"present"`
+	Transitions []Transition `json:"transitions,omitempty"`
+}
+
+// Name returns the label if set, else the hex key.
+func (l *LockSnapshot) Name() string {
+	if l.Label != "" {
+		return l.Label
+	}
+	return fmt.Sprintf("%#x", l.Key)
+}
+
+// ContentionRatio is the fraction of acquisitions that found the lock held.
+func (l *LockSnapshot) ContentionRatio() float64 {
+	if l.Acquisitions == 0 {
+		return 0
+	}
+	return float64(l.Contended) / float64(l.Acquisitions)
+}
+
+// AvgWait is the mean acquisition latency over the timed samples.
+func (l *LockSnapshot) AvgWait() time.Duration {
+	if l.Samples == 0 {
+		return 0
+	}
+	return time.Duration(l.WaitNanos / l.Samples)
+}
+
+// AvgHold is the mean critical-section duration over the timed samples.
+func (l *LockSnapshot) AvgHold() time.Duration {
+	if l.Samples == 0 {
+		return 0
+	}
+	return time.Duration(l.HoldNanos / l.Samples)
+}
+
+// AvgQueue is the mean number of goroutines at the lock (holder included)
+// sampled at timed acquisitions; an uncontended lock reads ~1.
+func (l *LockSnapshot) AvgQueue() float64 {
+	if l.Samples == 0 {
+		return 0
+	}
+	return float64(l.QueueTotal) / float64(l.Samples)
+}
+
+// TransitionCount is the total number of mode changes.
+func (l *LockSnapshot) TransitionCount() uint64 {
+	var n uint64
+	for _, t := range l.Transitions {
+		n += t.Count
+	}
+	return n
+}
+
+// RetiredSnapshot aggregates the locks unregistered (freed) before this
+// snapshot, so totals remain monotonic across Free.
+type RetiredSnapshot struct {
+	Locks        uint64 `json:"locks"`
+	Arrivals     uint64 `json:"arrivals"`
+	Acquisitions uint64 `json:"acquisitions"`
+	Contended    uint64 `json:"contended"`
+	TryFails     uint64 `json:"trylock_failures"`
+	Transitions  uint64 `json:"transitions"`
+}
+
+// Snapshot is a point-in-time (or, after Diff, an interval) view of a
+// Registry. Locks are sorted most-contended first: by contended
+// acquisitions, then arrivals, then key — the /proc/lock_stat convention of
+// leading with the locks that cost the most.
+type Snapshot struct {
+	SamplePeriod uint64          `json:"sample_period"`
+	Locks        []LockSnapshot  `json:"locks"`
+	Retired      RetiredSnapshot `json:"retired"`
+}
+
+// Lock returns the snapshot entry for key, or nil.
+func (s *Snapshot) Lock(key uint64) *LockSnapshot {
+	for i := range s.Locks {
+		if s.Locks[i].Key == key {
+			return &s.Locks[i]
+		}
+	}
+	return nil
+}
+
+// Diff returns the per-lock counter deltas from prev to s — the activity of
+// the interval between the two snapshots. Locks absent from prev (created
+// in the interval) keep their full counts; locks absent from s (freed in
+// the interval) are dropped, and the Retired delta is corrected by their
+// previously-reported live counts so it too reflects interval activity
+// only. Mode, label, and present are taken from s (they are states, not
+// counters). The result is sorted like any snapshot.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		return s
+	}
+	prevByKey := make(map[uint64]*LockSnapshot, len(prev.Locks))
+	for i := range prev.Locks {
+		prevByKey[prev.Locks[i].Key] = &prev.Locks[i]
+	}
+	out := &Snapshot{
+		SamplePeriod: s.SamplePeriod,
+		Locks:        make([]LockSnapshot, 0, len(s.Locks)),
+		Retired: RetiredSnapshot{
+			Locks:        s.Retired.Locks - prev.Retired.Locks,
+			Arrivals:     s.Retired.Arrivals - prev.Retired.Arrivals,
+			Acquisitions: s.Retired.Acquisitions - prev.Retired.Acquisitions,
+			Contended:    s.Retired.Contended - prev.Retired.Contended,
+			TryFails:     s.Retired.TryFails - prev.Retired.TryFails,
+			Transitions:  s.Retired.Transitions - prev.Retired.Transitions,
+		},
+	}
+	curGen := make(map[uint64]uint64, len(s.Locks))
+	for i := range s.Locks {
+		curGen[s.Locks[i].Key] = s.Locks[i].Gen
+	}
+	for _, cur := range s.Locks {
+		// A Gen mismatch means the key was freed and re-created in the
+		// interval: the previous incarnation's counters belong to Retired,
+		// not to this lock, so the new life keeps its full counts.
+		if p := prevByKey[cur.Key]; p != nil && p.Gen == cur.Gen {
+			// sub0 throughout: the raw slots are monotonic, but both
+			// snapshots were racy reads, and the derived Acquisitions is
+			// re-derived from the diffed raw fields so its zero-clamp in
+			// snapshot() cannot underflow here.
+			cur.Arrivals = sub0(cur.Arrivals, p.Arrivals)
+			cur.Contended = sub0(cur.Contended, p.Contended)
+			cur.TryFails = sub0(cur.TryFails, p.TryFails)
+			cur.Acquisitions = sub0(cur.Arrivals, cur.TryFails)
+			cur.Samples = sub0(cur.Samples, p.Samples)
+			cur.WaitNanos = sub0(cur.WaitNanos, p.WaitNanos)
+			cur.HoldNanos = sub0(cur.HoldNanos, p.HoldNanos)
+			cur.QueueTotal = sub0(cur.QueueTotal, p.QueueTotal)
+			cur.Transitions = diffTransitions(cur.Transitions, p.Transitions)
+		}
+		out.Locks = append(out.Locks, cur)
+	}
+	// A lock freed during the interval folded its *lifetime* totals into
+	// s.Retired, but everything up to prev was already reported live in
+	// prev — subtract it so the retired delta is interval activity, not a
+	// double count. (sub0 guards the racy-read edge where prev's live
+	// reading exceeded the quiescent fold.)
+	for i := range prev.Locks {
+		p := &prev.Locks[i]
+		if g, ok := curGen[p.Key]; !ok || g != p.Gen {
+			out.Retired.Arrivals = sub0(out.Retired.Arrivals, p.Arrivals)
+			out.Retired.Acquisitions = sub0(out.Retired.Acquisitions, p.Acquisitions)
+			out.Retired.Contended = sub0(out.Retired.Contended, p.Contended)
+			out.Retired.TryFails = sub0(out.Retired.TryFails, p.TryFails)
+			out.Retired.Transitions = sub0(out.Retired.Transitions, p.TransitionCount())
+		}
+	}
+	out.sort()
+	return out
+}
+
+// diffTransitions subtracts prev's per-edge counts, dropping edges that saw
+// no activity in the interval.
+func diffTransitions(cur, prev []Transition) []Transition {
+	if len(prev) == 0 {
+		return cur
+	}
+	prevCount := make(map[[2]string]uint64, len(prev))
+	for _, t := range prev {
+		prevCount[[2]string{t.From, t.To}] = t.Count
+	}
+	var out []Transition
+	for _, t := range cur {
+		t.Count -= prevCount[[2]string{t.From, t.To}]
+		if t.Count > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// totals sums the live-lock counters for the report header.
+func (s *Snapshot) totals() (acq, contended, transitions uint64) {
+	for i := range s.Locks {
+		acq += s.Locks[i].Acquisitions
+		contended += s.Locks[i].Contended
+		transitions += s.Locks[i].TransitionCount()
+	}
+	return
+}
+
+// WriteText writes the /proc/lock_stat-style report: a totals header, then
+// one line per lock, most contended first. Latencies are the sampled means;
+// "cont" is the fraction of acquisitions that found the lock held.
+//
+//	[glstat] locks: 2  acquisitions: 181714 (21.4% contended)  mode transitions: 3  sample period: 8
+//	              key label            kind  mode         acq    cont  try-fail  avg-wait  avg-hold  avg-queue  transitions
+//	              0x1 hot              glk   mutex     142850   27.2%         0   212.4µs     1.1µs       7.42  ticket→mutex ×1 (multiprogramming (avg queue 7.10))
+func (s *Snapshot) WriteText(w io.Writer) error {
+	acq, contended, transitions := s.totals()
+	pct := 0.0
+	if acq > 0 {
+		pct = 100 * float64(contended) / float64(acq)
+	}
+	if _, err := fmt.Fprintf(w,
+		"[glstat] locks: %d  acquisitions: %d (%.1f%% contended)  mode transitions: %d  sample period: %d\n",
+		len(s.Locks), acq, pct, transitions, s.SamplePeriod); err != nil {
+		return err
+	}
+	if s.Retired.Locks > 0 {
+		if _, err := fmt.Fprintf(w, "[glstat] retired: %d freed locks, %d acquisitions (%d contended), %d transitions\n",
+			s.Retired.Locks, s.Retired.Acquisitions, s.Retired.Contended, s.Retired.Transitions); err != nil {
+			return err
+		}
+	}
+	if len(s.Locks) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10s %7s %9s %9s %9s %10s  %s\n",
+		"key", "label", "kind", "mode", "acq", "cont", "try-fail", "avg-wait", "avg-hold", "avg-queue", "transitions"); err != nil {
+		return err
+	}
+	for i := range s.Locks {
+		l := &s.Locks[i]
+		if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10d %6.1f%% %9d %9s %9s %10.2f  %s\n",
+			fmt.Sprintf("%#x", l.Key), l.Label, l.Kind, l.Mode,
+			l.Acquisitions, 100*l.ContentionRatio(), l.TryFails,
+			fmtDur(l.AvgWait()), fmtDur(l.AvgHold()), l.AvgQueue(),
+			formatTransitions(l.Transitions)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a duration compactly for the fixed-width report.
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	switch {
+	case d < 10*time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+// formatTransitions renders the per-edge transition counts with the latest
+// reason, GLK §4.3 style.
+func formatTransitions(ts []Transition) string {
+	if len(ts) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(ts))
+	for _, t := range ts {
+		p := fmt.Sprintf("%s→%s ×%d", t.From, t.To, t.Count)
+		if t.Reason != "" {
+			p += fmt.Sprintf(" (%s)", t.Reason)
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// WriteJSON writes the snapshot as indented JSON — the machine-readable
+// export consumed by cmd/glsstat and the telemetryhttp handler.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSON parses a snapshot previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing snapshot: %w", err)
+	}
+	return &s, nil
+}

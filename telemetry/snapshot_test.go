@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gls/internal/stripe"
+)
+
+// buildSnapshot fabricates a two-lock snapshot for the format/diff tests.
+func buildSnapshot() *Snapshot {
+	return &Snapshot{
+		SamplePeriod: 8,
+		Locks: []LockSnapshot{
+			{
+				Key: 0x1, Label: "hot", Kind: "glk", Mode: "mutex",
+				Arrivals: 1000, Acquisitions: 990, Contended: 400, TryFails: 10,
+				Samples: 100, WaitNanos: 5_000_000, HoldNanos: 1_000_000, QueueTotal: 540,
+				Transitions: []Transition{
+					{From: "ticket", To: "mcs", Reason: "avg queue 4.20 > 3.00", Count: 1},
+					{From: "mcs", To: "mutex", Reason: "multiprogramming (avg queue 5.10)", Count: 1},
+				},
+			},
+			{
+				Key: 0x2, Kind: "mcs",
+				Arrivals: 50, Acquisitions: 50, Contended: 0,
+				Samples: 5, WaitNanos: 1000, HoldNanos: 5000, QueueTotal: 5,
+			},
+		},
+	}
+}
+
+func TestSnapshotSortedByContention(t *testing.T) {
+	r := New(Options{})
+	cold := r.Register(1, "glk")
+	hot := r.Register(2, "glk")
+	tok := stripe.Self()
+	for i := 0; i < 3; i++ {
+		a := cold.Arrive(tok)
+		a.Acquired(false)
+		cold.Release(tok)
+	}
+	for i := 0; i < 2; i++ {
+		a := hot.Arrive(tok)
+		a.Acquired(true)
+		hot.Release(tok)
+	}
+	snap := r.Snapshot()
+	if len(snap.Locks) != 2 || snap.Locks[0].Key != 2 {
+		t.Fatalf("contended lock not first: %+v", snap.Locks)
+	}
+}
+
+func TestWriteTextReport(t *testing.T) {
+	var b bytes.Buffer
+	if err := buildSnapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"[glstat] locks: 2",
+		"acquisitions: 1040",
+		"0x1", "hot", "mutex",
+		"ticket→mcs ×1 (avg queue 4.20 > 3.00)",
+		"mcs→mutex ×1 (multiprogramming (avg queue 5.10))",
+		"0x2", "mcs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The hot lock sorts first.
+	if strings.Index(out, "0x1") > strings.Index(out, "0x2") {
+		t.Errorf("locks not sorted by contention:\n%s", out)
+	}
+}
+
+func TestWriteTextEmptySnapshot(t *testing.T) {
+	var b bytes.Buffer
+	if err := (&Snapshot{SamplePeriod: 64}).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "locks: 0") {
+		t.Fatalf("empty report: %q", b.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	snap := buildSnapshot()
+	var b bytes.Buffer
+	if err := snap.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Locks) != 2 || got.SamplePeriod != 8 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	l := got.Lock(0x1)
+	if l == nil || l.Contended != 400 || l.Mode != "mutex" || len(l.Transitions) != 2 {
+		t.Fatalf("lock 0x1 after round trip: %+v", l)
+	}
+	if _, err := ReadJSON(strings.NewReader("{nonsense")); err == nil {
+		t.Fatal("accepted invalid JSON")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	prev := buildSnapshot()
+	cur := buildSnapshot()
+	h := cur.Lock(0x1)
+	h.Arrivals += 100
+	h.Acquisitions += 100
+	h.Contended += 60
+	h.Samples += 10
+	h.WaitNanos += 1_000_000
+	h.HoldNanos += 500_000
+	h.QueueTotal += 80
+	h.Transitions = append([]Transition(nil), h.Transitions...)
+	h.Transitions[1].Count++ // one more mcs→mutex
+	// A lock created during the interval.
+	cur.Locks = append(cur.Locks, LockSnapshot{Key: 0x3, Kind: "glk", Arrivals: 7, Acquisitions: 7})
+	// A lock freed during the interval: its lifetime fold is its 50
+	// pre-interval acquisitions (already reported live in prev) plus 7
+	// interval ones.
+	cur.Locks = append(cur.Locks[:1], cur.Locks[2:]...) // drop 0x2
+	cur.Retired.Locks = 1
+	cur.Retired.Acquisitions = 57
+
+	d := cur.Diff(prev)
+	dh := d.Lock(0x1)
+	if dh.Acquisitions != 100 || dh.Contended != 60 || dh.Samples != 10 {
+		t.Fatalf("hot diff: %+v", dh)
+	}
+	if dh.AvgQueue() != 8.0 {
+		t.Fatalf("interval AvgQueue = %.2f, want 8", dh.AvgQueue())
+	}
+	if len(dh.Transitions) != 1 || dh.Transitions[0].To != "mutex" || dh.Transitions[0].Count != 1 {
+		t.Fatalf("interval transitions: %+v", dh.Transitions)
+	}
+	if created := d.Lock(0x3); created == nil || created.Acquisitions != 7 {
+		t.Fatalf("created lock in diff: %+v", created)
+	}
+	if d.Lock(0x2) != nil {
+		t.Fatal("freed lock survived the diff")
+	}
+	// The retired delta nets out 0x2's pre-interval live counts: only the
+	// 7 acquisitions that happened in the interval remain.
+	if d.Retired.Locks != 1 || d.Retired.Acquisitions != 7 {
+		t.Fatalf("retired diff: %+v", d.Retired)
+	}
+	if got := cur.Diff(nil); got != cur {
+		t.Fatal("Diff(nil) should return the snapshot unchanged")
+	}
+}
+
+// TestDiffSurvivesKeyRecreation: a key freed and re-created between two
+// snapshots gets a fresh registration generation, so the interval keeps the
+// new incarnation's full (small) counts instead of underflowing uint64
+// against the old incarnation's larger ones.
+func TestDiffSurvivesKeyRecreation(t *testing.T) {
+	r := New(Options{SamplePeriod: 1})
+	tok := stripe.Self()
+	drive := func(st *LockStats, n int) {
+		for i := 0; i < n; i++ {
+			a := st.Arrive(tok)
+			a.Acquired(false)
+			st.Release(tok)
+		}
+	}
+	drive(r.Register(5, "glk"), 100)
+	before := r.Snapshot()
+	drive(r.Get(5), 6) // interval activity on the doomed incarnation
+	r.Unregister(5)
+	drive(r.Register(5, "glk"), 3) // new incarnation, fewer counts
+	d := r.Snapshot().Diff(before)
+	l := d.Lock(5)
+	if l == nil || l.Acquisitions != 3 {
+		t.Fatalf("re-created key interval: %+v", l)
+	}
+	// Of the old incarnation's 106 folded acquisitions, 100 were already
+	// reported live in `before`: the retired interval keeps only 6.
+	if d.Retired.Locks != 1 || d.Retired.Acquisitions != 6 {
+		t.Fatalf("retired interval: %+v", d.Retired)
+	}
+}
+
+func TestDerivedMetricsZeroSafe(t *testing.T) {
+	var l LockSnapshot
+	if l.AvgWait() != 0 || l.AvgHold() != 0 || l.AvgQueue() != 0 || l.ContentionRatio() != 0 {
+		t.Fatal("zero-sample metrics not zero")
+	}
+	if l.Name() != "0x0" {
+		t.Fatalf("Name = %q", l.Name())
+	}
+}

@@ -1,0 +1,466 @@
+// Package telemetry is glstat: an always-on lock telemetry and
+// introspection subsystem for GLS/GLK.
+//
+// The paper ships debugging (§4.2) and profiling (§4.3) as service modes a
+// deployment opts into; both are stop-the-world-ish in spirit — they exist
+// for development runs. What a production system serving heavy traffic
+// needs is the /proc/lock_stat question: "which lock is hot right now, in
+// which GLK mode, and how did it get there?" — answerable at any moment,
+// with the collection cheap enough to leave on.
+//
+// A Registry holds one LockStats per lock. The stats are fed by narrow hook
+// points inside glk.Lock (wired via glk.Config.Stats) and, for explicit
+// Table-1 algorithms, by the Instrument wrapper; the service wires both at
+// entry construction, so a service without telemetry has literally no
+// telemetry code on its paths — no per-operation branches, no nil checks in
+// the service layer (see DESIGN.md §7).
+//
+// Collection is built for the hot path it observes:
+//
+//   - counters live in cache-line-striped lanes (internal/stripe.Lanes):
+//     each acquisition's updates land on one usually-private line, so
+//     always-on accounting adds no shared-line writes — the same discipline
+//     as GLK's presence counter;
+//   - latencies and queue lengths are sampled, not measured per operation:
+//     every SamplePeriod-th arrival (per lane) pays two clock reads and a
+//     lane sum, everything else pays plain atomic adds;
+//   - rare events (mode transitions) use a plain mutex: they happen at most
+//     once per GLK adaptation period.
+//
+// Read sides: Registry.Snapshot (a point-in-time copy), Snapshot.Diff
+// (interval deltas), Snapshot.WriteText (a /proc/lock_stat-style report
+// sorted by contention), Snapshot.WriteJSON/ReadJSON (export), and the
+// telemetryhttp subpackage (http.Handler and expvar).
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+	"unsafe"
+
+	"gls/internal/pad"
+	"gls/internal/stripe"
+)
+
+// Slot indices within a LockStats lane. One lane line carries every
+// per-acquisition counter of one lock.
+const (
+	slotArrivals   = iota // Lock/TryLock entries (successful or not)
+	slotContended         // acquisitions that found the lock held
+	slotTryFails          // TryLock attempts that returned false
+	slotSamples           // timed acquisitions (wait/hold/queue sampled)
+	slotWaitNanos         // total wait time of timed acquisitions
+	slotHoldNanos         // total hold time of timed acquisitions
+	slotQueueTotal        // total queue length sampled at timed acquisitions
+	slotPresent           // goroutines currently at the lock (in/holding)
+)
+
+// slotPresent duplicates, for instrumented GLK locks, a count glk's own
+// presence stripes already track. That costs two extra atomic adds per
+// operation — both landing on the lane line Arrive/Release touch anyway —
+// and buys a live "goroutines at this lock right now" field in every
+// snapshot plus one hook protocol shared by GLK and wrapped locks. If the
+// enabled path ever needs those adds back, the alternative is letting the
+// lock supply its own queue reading to Acquired and skipping presence for
+// self-reporting locks.
+
+// DefaultSamplePeriod is how often (in per-lane arrivals) an acquisition is
+// timed: its wait latency, hold latency, and the queue length behind the
+// lock are recorded. Sampling follows the paper's measurement philosophy
+// (writes must be cheap and uncoordinated; reads may be expensive and
+// slightly stale) and GLK's own 1-in-128 queue sampling; 64 keeps reports
+// fresh on warm locks while the common arrival pays no clock read.
+const DefaultSamplePeriod = 64
+
+// Options configures a Registry.
+type Options struct {
+	// SamplePeriod is the timed-acquisition period. It is rounded up to a
+	// power of two so the sampling decision is a mask on a lane-local
+	// counter. 0 selects DefaultSamplePeriod; 1 times every acquisition
+	// (profiling fidelity — this is what Options.Profile uses).
+	SamplePeriod uint64
+}
+
+// Registry is a process- or service-wide collection of per-lock statistics.
+// Create with New (or use Default); register each lock once at construction
+// and feed its *LockStats from the lock's own code paths.
+//
+// All methods are safe for concurrent use. Register/Unregister take a
+// mutex, but they run at lock creation/destruction, never per operation.
+type Registry struct {
+	sampleMask uint64
+
+	mu    sync.RWMutex
+	locks map[uint64]*LockStats
+
+	// gen stamps each registration with a unique incarnation id, so Diff
+	// can tell a key that was freed and re-created apart from the same
+	// lock continuing (their counters must not be subtracted).
+	gen uint64
+
+	// pendingLabels holds labels set before their key's first registration
+	// (locks are registered lazily, on first use), applied at Register.
+	pendingLabels map[uint64]string
+
+	// retired accumulates the counters of unregistered locks so interval
+	// totals stay monotonic across Free.
+	retired retiredTotals
+}
+
+type retiredTotals struct {
+	locks       uint64
+	counters    [stripe.LaneSlots]uint64
+	transitions uint64
+}
+
+// New returns an empty registry.
+func New(opts Options) *Registry {
+	p := opts.SamplePeriod
+	if p == 0 {
+		p = DefaultSamplePeriod
+	}
+	// Round up to a power of two; the decision "n % period == 0" becomes a
+	// mask against the lane-local arrival count. Capped at 1<<63 so an
+	// absurd period cannot overflow the shift into an endless loop.
+	mask := uint64(1)
+	for mask < p && mask < 1<<63 {
+		mask <<= 1
+	}
+	return &Registry{sampleMask: mask - 1, locks: make(map[uint64]*LockStats)}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry, creating it with default
+// options on first use — the analogue of the kernel's single
+// /proc/lock_stat. Independent services may share it (keys are expected to
+// be addresses, so collisions mean shared objects) or carry their own.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = New(Options{}) })
+	return defaultReg
+}
+
+// SamplePeriod reports the effective (power-of-two) timed-sampling period.
+func (r *Registry) SamplePeriod() uint64 { return r.sampleMask + 1 }
+
+// Register returns the LockStats for key, creating it with the given kind
+// ("glk" or an explicit algorithm name) on first registration. Re-register
+// of a live key returns the existing stats unchanged, so two racing entry
+// constructions agree on one accumulator.
+func (r *Registry) Register(key uint64, kind string) *LockStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.locks[key]; st != nil {
+		return st
+	}
+	r.gen++
+	st := &LockStats{statsHeader: statsHeader{key: key, kind: kind, gen: r.gen, sampleMask: r.sampleMask}}
+	if label, ok := r.pendingLabels[key]; ok {
+		st.label = label
+		delete(r.pendingLabels, key)
+	}
+	r.locks[key] = st
+	return st
+}
+
+// Unregister removes key's stats from the registry, folding its counters
+// into the retired totals. Locks freed while goroutines still use them keep
+// their (now orphaned) LockStats working; only reporting forgets them.
+func (r *Registry) Unregister(key uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.locks[key]
+	if st == nil {
+		return
+	}
+	delete(r.locks, key)
+	sums := st.lanes.SumAll()
+	r.retired.locks++
+	for i, v := range sums {
+		r.retired.counters[i] += v
+	}
+	st.cold.Lock()
+	for _, tr := range st.transitions {
+		r.retired.transitions += tr.Count
+	}
+	st.cold.Unlock()
+}
+
+// Get returns the registered stats for key, or nil.
+func (r *Registry) Get(key uint64) *LockStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.locks[key]
+}
+
+// SetLabel attaches a human-readable name to key's report lines. Labels
+// set before the key's first use (locks register lazily) are remembered
+// and applied when the lock appears.
+func (r *Registry) SetLabel(key uint64, label string) {
+	if st := r.Get(key); st != nil {
+		st.cold.Lock()
+		st.label = label
+		st.cold.Unlock()
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.locks[key]; st != nil { // registered in the window above
+		st.cold.Lock()
+		st.label = label
+		st.cold.Unlock()
+		return
+	}
+	if r.pendingLabels == nil {
+		r.pendingLabels = make(map[uint64]string)
+	}
+	r.pendingLabels[key] = label
+}
+
+// Len reports the number of registered (live) locks.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.locks)
+}
+
+// Transition is one observed mode change, aggregated per (From, To) edge.
+// Reason is the most recent trigger for that edge, in GLK's own words.
+type Transition struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason,omitempty"`
+	Count  uint64 `json:"count"`
+}
+
+// statsHeader is the read-only part of a LockStats, padded so the hot lanes
+// that follow start on their own cache line.
+type statsHeader struct {
+	key        uint64
+	gen        uint64 // registration incarnation (see Registry.gen)
+	sampleMask uint64
+	kind       string
+}
+
+// LockStats accumulates the telemetry of one lock. Instances come from
+// Registry.Register; the hook methods (Arrive/Acquired/Failed/Release,
+// Transition) are called from inside the lock implementation — glk.Lock
+// calls them when Config.Stats is set, Instrument wraps any other
+// locks.Lock — never from application code.
+//
+// Layout mirrors glk.Lock's sectioning: an immutable header, the striped
+// hot counters, a holder-only timestamp, then mutex-guarded cold state,
+// each section starting on its own cache line (telemetry_test.go pins it).
+type LockStats struct {
+	statsHeader
+	_ [(pad.CacheLineSize - unsafe.Sizeof(statsHeader{})%pad.CacheLineSize) % pad.CacheLineSize]byte
+
+	// lanes carries every per-acquisition counter, striped so concurrent
+	// arrivals usually write disjoint lines (see the slot constants).
+	lanes stripe.Lanes
+
+	// holdStart is when the current holder's timed acquisition completed;
+	// zero when the current acquisition is untimed. Holder-only state,
+	// ordered by the lock itself (set in Acquired, consumed in Release).
+	holdStart time.Time
+	_         [(pad.CacheLineSize - unsafe.Sizeof(time.Time{})%pad.CacheLineSize) % pad.CacheLineSize]byte
+
+	// Cold, rarely-written introspection state.
+	cold        sync.Mutex
+	label       string
+	mode        string // current GLK mode; empty for fixed-algorithm locks
+	transitions []Transition
+}
+
+// Key returns the lock key this stats block was registered under.
+func (s *LockStats) Key() uint64 { return s.key }
+
+// Acq is the per-acquisition context carried from Arrive to
+// Acquired/Failed. It lives on the acquirer's stack; zero allocation.
+type Acq struct {
+	st    *LockStats
+	tok   uint64
+	start time.Time
+	timed bool
+}
+
+// Arrive records a goroutine entering the lock's acquire path (Lock or
+// TryLock). tok is the caller's stripe token (stripe.Self()); passing the
+// same token to the paired Acquired/Failed/Release keeps one operation's
+// updates on one lane. The fast path is two atomic adds to one lane line;
+// every SamplePeriod-th arrival per lane additionally reads the clock and
+// becomes a timed acquisition.
+func (s *LockStats) Arrive(tok uint64) Acq {
+	n := s.lanes.AddGet(tok, slotArrivals, 1)
+	s.lanes.Add(tok, slotPresent, 1)
+	a := Acq{st: s, tok: tok}
+	if n&s.sampleMask == 0 {
+		a.timed = true
+		a.start = time.Now()
+	}
+	return a
+}
+
+// Acquired records a successful acquisition. contended reports whether the
+// lock was observed held on arrival (the caller's try-then-wait probe).
+// Timed acquisitions record their wait latency and sample the queue length
+// — the arrivals currently present, holder included, exactly the paper's
+// §4.3 queue measure — and arm the hold timer consumed by Release.
+//
+// Must be called by the new holder, before it releases.
+func (a Acq) Acquired(contended bool) {
+	s := a.st
+	if contended {
+		s.lanes.Add(a.tok, slotContended, 1)
+	}
+	if !a.timed {
+		return
+	}
+	now := time.Now()
+	s.lanes.Add(a.tok, slotSamples, 1)
+	s.lanes.Add(a.tok, slotWaitNanos, uint64(now.Sub(a.start)))
+	q := int64(s.lanes.Sum(slotPresent))
+	if q < 1 {
+		q = 1 // racing decrements can transiently hide even the holder
+	}
+	s.lanes.Add(a.tok, slotQueueTotal, uint64(q))
+	s.holdStart = now
+}
+
+// Failed records a TryLock that did not acquire, undoing the presence
+// recorded by Arrive.
+func (a Acq) Failed() {
+	a.st.lanes.Add(a.tok, slotTryFails, 1)
+	a.st.lanes.Add(a.tok, slotPresent, ^uint64(0))
+}
+
+// Release records the holder leaving: the hold latency if this acquisition
+// was timed, and the presence decrement. Must be called by the holder while
+// it still holds the lock (the hold timer is holder-only state).
+func (s *LockStats) Release(tok uint64) {
+	if !s.holdStart.IsZero() {
+		s.lanes.Add(tok, slotHoldNanos, uint64(time.Since(s.holdStart)))
+		s.holdStart = time.Time{}
+	}
+	s.lanes.Add(tok, slotPresent, ^uint64(0))
+}
+
+// Transition records a mode change (GLK's holder calls this after flipping
+// the mode word). from/to are mode names; reason is GLK's explanation, kept
+// per (from, to) edge with the latest occurrence winning.
+func (s *LockStats) Transition(from, to, reason string) {
+	s.cold.Lock()
+	defer s.cold.Unlock()
+	s.mode = to
+	for i := range s.transitions {
+		if s.transitions[i].From == from && s.transitions[i].To == to {
+			s.transitions[i].Count++
+			s.transitions[i].Reason = reason
+			return
+		}
+	}
+	s.transitions = append(s.transitions, Transition{From: from, To: to, Reason: reason, Count: 1})
+}
+
+// SetMode records the current mode without counting a transition (initial
+// mode at construction).
+func (s *LockStats) SetMode(mode string) {
+	s.cold.Lock()
+	s.mode = mode
+	s.cold.Unlock()
+}
+
+// snapshot copies the stats into a LockSnapshot.
+func (s *LockStats) snapshot() LockSnapshot {
+	sums := s.lanes.SumAll()
+	present := int64(sums[slotPresent])
+	if present < 0 {
+		present = 0
+	}
+	ls := LockSnapshot{
+		Key:        s.key,
+		Gen:        s.gen,
+		Kind:       s.kind,
+		Arrivals:   sums[slotArrivals],
+		TryFails:   sums[slotTryFails],
+		Contended:  sums[slotContended],
+		Samples:    sums[slotSamples],
+		WaitNanos:  sums[slotWaitNanos],
+		HoldNanos:  sums[slotHoldNanos],
+		QueueTotal: sums[slotQueueTotal],
+		Present:    present,
+	}
+	// Clamp like Present above: SumAll reads the slots while writers run,
+	// so a burst of Arrive+Failed pairs landing between the arrivals and
+	// tryfails reads can transiently make TryFails exceed Arrivals.
+	if ls.TryFails > ls.Arrivals {
+		ls.Acquisitions = 0
+	} else {
+		ls.Acquisitions = ls.Arrivals - ls.TryFails
+	}
+	s.cold.Lock()
+	ls.Label = s.label
+	ls.Mode = s.mode
+	if len(s.transitions) > 0 {
+		ls.Transitions = append([]Transition(nil), s.transitions...)
+	}
+	s.cold.Unlock()
+	return ls
+}
+
+// Snapshot returns a point-in-time copy of every registered lock's
+// counters, sorted most-contended first (see Snapshot for the ordering).
+// Counters are read while writers run; each value is exact modulo the
+// operations in flight.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	stats := make([]*LockStats, 0, len(r.locks))
+	for _, st := range r.locks {
+		stats = append(stats, st)
+	}
+	retired := r.retired
+	r.mu.RUnlock()
+
+	snap := &Snapshot{
+		SamplePeriod: r.SamplePeriod(),
+		Locks:        make([]LockSnapshot, 0, len(stats)),
+		Retired: RetiredSnapshot{
+			Locks:        retired.locks,
+			Arrivals:     retired.counters[slotArrivals],
+			Contended:    retired.counters[slotContended],
+			TryFails:     retired.counters[slotTryFails],
+			Acquisitions: sub0(retired.counters[slotArrivals], retired.counters[slotTryFails]),
+			Transitions:  retired.transitions,
+		},
+	}
+	for _, st := range stats {
+		snap.Locks = append(snap.Locks, st.snapshot())
+	}
+	snap.sort()
+	return snap
+}
+
+// sub0 is a-b clamped at zero, for derived counters built from racy reads.
+func sub0(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Locks, func(i, j int) bool {
+		a, b := &s.Locks[i], &s.Locks[j]
+		if a.Contended != b.Contended {
+			return a.Contended > b.Contended
+		}
+		if a.Arrivals != b.Arrivals {
+			return a.Arrivals > b.Arrivals
+		}
+		return a.Key < b.Key
+	})
+}

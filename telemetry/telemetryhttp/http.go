@@ -1,0 +1,60 @@
+// Package telemetryhttp exposes a telemetry.Registry over HTTP and expvar.
+// It is a separate package so the core telemetry path (linked into every
+// service) does not pull net/http into binaries that never serve it.
+//
+// Typical wiring:
+//
+//	reg := telemetry.Default()
+//	http.Handle("/debug/glstat", telemetryhttp.Handler(reg))
+//	telemetryhttp.Publish("glstat", reg)
+package telemetryhttp
+
+import (
+	"expvar"
+	"net/http"
+	"strconv"
+
+	"gls/telemetry"
+)
+
+// Handler serves the registry's current snapshot: a /proc/lock_stat-style
+// text report by default, JSON with ?format=json, and at most N locks with
+// ?top=N (the snapshot is already sorted most-contended first, so top=N is
+// "the N worst locks"; 0 means all, matching glsstat's -top flag).
+func Handler(r *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if topStr := req.URL.Query().Get("top"); topStr != "" {
+			top, err := strconv.Atoi(topStr)
+			if err != nil || top < 0 {
+				http.Error(w, "glstat: top must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if top > 0 && top < len(snap.Locks) {
+				snap.Locks = snap.Locks[:top]
+			}
+		}
+		switch req.URL.Query().Get("format") {
+		case "", "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = snap.WriteText(w)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+		default:
+			http.Error(w, "glstat: unknown format (want text or json)", http.StatusBadRequest)
+		}
+	})
+}
+
+// Publish registers the registry under name in the process's expvar set, so
+// the snapshot appears (as JSON) at the standard /debug/vars endpoint.
+// expvar panics on duplicate names, matching its stdlib contract.
+func Publish(name string, r *telemetry.Registry) {
+	expvar.Publish(name, Var(r))
+}
+
+// Var wraps the registry as an expvar.Var without registering it.
+func Var(r *telemetry.Registry) expvar.Var {
+	return expvar.Func(func() any { return r.Snapshot() })
+}

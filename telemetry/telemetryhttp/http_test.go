@@ -1,0 +1,106 @@
+package telemetryhttp
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gls/internal/stripe"
+	"gls/telemetry"
+)
+
+func testRegistry(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	r := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	tok := stripe.Self()
+	hot := r.Register(0x10, "glk")
+	for i := 0; i < 20; i++ {
+		a := hot.Arrive(tok)
+		a.Acquired(true)
+		hot.Release(tok)
+	}
+	cold := r.Register(0x20, "ticket")
+	a := cold.Arrive(tok)
+	a.Acquired(false)
+	cold.Release(tok)
+	r.SetLabel(0x10, "hot")
+	return r
+}
+
+func get(t *testing.T, r *telemetry.Registry, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}
+
+func TestHandlerText(t *testing.T) {
+	rec := get(t, testRegistry(t), "/glstat")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "[glstat] locks: 2") || !strings.Contains(body, "hot") {
+		t.Fatalf("text body:\n%s", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	rec := get(t, testRegistry(t), "/glstat?format=json")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	snap, err := telemetry.ReadJSON(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Locks) != 2 || snap.Lock(0x10).Contended != 20 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+}
+
+func TestHandlerTop(t *testing.T) {
+	rec := get(t, testRegistry(t), "/glstat?format=json&top=1")
+	snap, err := telemetry.ReadJSON(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Locks) != 1 || snap.Locks[0].Key != 0x10 {
+		t.Fatalf("top=1 should keep only the most contended lock: %+v", snap.Locks)
+	}
+	// top=0 means "all", matching glsstat's -top flag.
+	all, err := telemetry.ReadJSON(get(t, testRegistry(t), "/glstat?format=json&top=0").Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Locks) != 2 {
+		t.Fatalf("top=0 should keep every lock: %+v", all.Locks)
+	}
+}
+
+func TestHandlerBadParams(t *testing.T) {
+	if rec := get(t, testRegistry(t), "/glstat?format=xml"); rec.Code != 400 {
+		t.Fatalf("format=xml: status %d", rec.Code)
+	}
+	if rec := get(t, testRegistry(t), "/glstat?top=-1"); rec.Code != 400 {
+		t.Fatalf("top=-1: status %d", rec.Code)
+	}
+}
+
+func TestVar(t *testing.T) {
+	v := Var(testRegistry(t))
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	if len(snap.Locks) != 2 {
+		t.Fatalf("expvar snapshot: %+v", snap)
+	}
+}
