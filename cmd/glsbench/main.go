@@ -105,6 +105,8 @@ func main() {
 		"run the hot-path line-bounce family and write the JSON report to this file (\"-\" for stdout)")
 	stat := flag.Bool("stat", false,
 		"run the glstat telemetry demo: two workload phases, then the contention report and interval diff")
+	cardinality := flag.Bool("cardinality", false,
+		"run the high-cardinality footprint scenario: ~1M keys, zipf access, bytes/lock and ns/op")
 	quick := flag.Bool("quick", false, "short runs for smoke testing")
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per point")
 	reps := flag.Int("reps", 3, "repetitions per point (median reported; paper uses 11)")
@@ -128,14 +130,15 @@ func main() {
 			figs[k] = true
 		}
 	}
-	if len(figs) == 0 && *hotpath == "" && !*stat {
-		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -stat  (figures: %s)\n", knownFigures())
+	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality {
+		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -stat | -cardinality  (figures: %s)\n", knownFigures())
 		os.Exit(2)
 	}
-	if *stat && *hotpath == "-" {
-		// -hotpath - reserves stdout for the JSON report; the stat text
-		// report would interleave with it. Run them separately.
-		fmt.Fprintln(os.Stderr, "glsbench: -stat cannot be combined with -hotpath - (stdout carries the JSON report)")
+	if (*stat || *cardinality) && *hotpath == "-" {
+		// -hotpath - reserves stdout for the JSON report; the stat and
+		// cardinality text reports would interleave with it. Run them
+		// separately.
+		fmt.Fprintln(os.Stderr, "glsbench: -stat/-cardinality cannot be combined with -hotpath - (stdout carries the JSON report)")
 		os.Exit(2)
 	}
 
@@ -163,6 +166,15 @@ func main() {
 		fmt.Printf("== glstat: always-on lock telemetry ==\n")
 		if err := runStat(o); err != nil {
 			fmt.Fprintf(os.Stderr, "glsbench: -stat: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *cardinality {
+		fmt.Printf("== Cardinality: footprint and throughput at ~1M keys ==\n")
+		if err := runCardinality(o); err != nil {
+			fmt.Fprintf(os.Stderr, "glsbench: -cardinality: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -12,6 +12,12 @@
 // scenario's success criteria are the telemetry mode-transition counters
 // plus a contention report naming the hot key.
 //
+// -bug churn stresses the high-cardinality lifecycle instead: thousands of
+// keys freed and re-created under load while every worker locks through a
+// handle cache, with the telemetry registry capped so its idle-eviction
+// policy runs concurrently. It asserts exact mutual-exclusion tallies and
+// a bounded registry.
+//
 // Exit status is 0 when every requested scenario detected what it plants.
 package main
 
@@ -21,12 +27,14 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gls"
 	"gls/glk"
 	"gls/internal/cycles"
 	"gls/internal/sysmon"
+	"gls/internal/xrand"
 	"gls/telemetry"
 )
 
@@ -42,6 +50,7 @@ type scenario struct {
 
 var scenarios = map[string]scenario{
 	"oversubscription": {custom: runOversubscription},
+	"churn":            {custom: runChurn},
 	"uninitialized": {kind: gls.IssueUninitializedLock, plant: func(s *gls.Service) {
 		s.Lock(0x6344e0) // never InitLock'ed; StrictInit flags it
 		s.Unlock(0x6344e0)
@@ -186,12 +195,82 @@ func runOversubscription() (string, bool) {
 	return what, toMutex(hot) && hot.Contended > 0
 }
 
+// runChurn is the high-cardinality churn mode: a key space far larger than
+// the telemetry cap, workers locking through per-goroutine handles (stable
+// keys carry plain counters, so a stale handle cache breaking mutual
+// exclusion corrupts the tally), while each worker frees and re-creates its
+// own churn range continuously. Success criteria: the counter tally is
+// exact, the service still works, and the telemetry registry both retired
+// registrations (Free) and idle-evicted stats (MaxLocks policy) without
+// losing the live view.
+func runChurn() (string, bool) {
+	const what = "exact tallies and bounded telemetry under free/re-create churn"
+	const (
+		stableKeys = 16
+		perWorker  = 512
+		churnBase  = uint64(1) << 32
+		iters      = 20000
+	)
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 16, MaxLocks: 64})
+	mon := sysmon.New(sysmon.Options{DisableProbes: true})
+	svc := gls.New(gls.Options{Telemetry: reg, GLK: &glk.Config{Monitor: mon}})
+	defer svc.Close()
+
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	fmt.Printf("churning %d keys/worker across %d workers, %d stable keys, telemetry cap 64...\n",
+		perWorker, workers, stableKeys)
+	counters := make([]int64, stableKeys)
+	var frees atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := svc.NewHandle()
+			rng := xrand.NewSplitMix64(uint64(w)*0x9e3779b9 + 7)
+			myBase := churnBase + uint64(w*perWorker)
+			for i := 0; i < iters; i++ {
+				sk := rng.Uintn(stableKeys) + 1
+				h.Lock(sk)
+				counters[sk-1]++
+				h.Unlock(sk)
+				ck := myBase + rng.Uintn(perWorker)
+				h.Lock(ck)
+				h.Unlock(ck)
+				if rng.Uintn(4) == 0 {
+					svc.Free(ck)
+					frees.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, c := range counters {
+		total += c
+	}
+	snap := reg.Snapshot()
+	fmt.Printf("tally %d/%d, %d frees, live stats %d, retired %d (%d idle-evicted)\n",
+		total, workers*iters, frees.Load(), reg.Len(), snap.Retired.Locks, snap.Retired.Evicted)
+	ok := total == int64(workers*iters) &&
+		snap.Retired.Locks > 0 &&
+		reg.Len() < workers*perWorker // the cap kept the registry from holding every live key
+	// End-to-end sanity after the storm.
+	svc.Lock(1)
+	svc.Unlock(1)
+	return what, ok
+}
+
 func main() {
 	bug := flag.String("bug", "all",
-		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, all")
+		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, all")
 	flag.Parse()
 
-	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription"}
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn"}
 	if *bug != "all" {
 		if _, ok := scenarios[*bug]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)

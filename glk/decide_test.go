@@ -95,13 +95,13 @@ func TestDecideProperties(t *testing.T) {
 			return false
 		}
 		cfg := l.cfg
-		if cur != ModeMutex && avg >= cfg.DownThreshold && avg <= cfg.UpThreshold && got != cur {
+		if cur != ModeMutex && avg >= cfg.downThreshold && avg <= cfg.upThreshold && got != cur {
 			return false // hysteresis band violated
 		}
-		if avg > cfg.UpThreshold && got == ModeTicket {
+		if avg > cfg.upThreshold && got == ModeTicket {
 			return false
 		}
-		if avg < cfg.DownThreshold && got == ModeMCS {
+		if avg < cfg.downThreshold && got == ModeMCS {
 			return false
 		}
 		if got == ModeMutex {

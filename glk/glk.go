@@ -18,6 +18,7 @@ package glk
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"unsafe"
 
@@ -86,14 +87,22 @@ const (
 	DefaultEMAWeight = 0.25
 )
 
+// inflateQueueLen is the sampled queue length (holder included) at which a
+// lock inflates its presence counter from the inline cell to the striped
+// spill: 2 means "someone besides the holder was at the lock". Inflation is
+// one-way and happens at most once per lock (see stripe.Counter).
+const inflateQueueLen = 2
+
 // Config tunes a GLK lock. The zero value of every field selects the
 // default above. Configs are copied at lock construction; later mutation has
 // no effect.
 type Config struct {
 	// SamplePeriod is the queue-sampling period in critical sections.
 	SamplePeriod uint64
-	// AdaptPeriod is the adaptation period in critical sections. It should
-	// be a multiple of SamplePeriod.
+	// AdaptPeriod is the adaptation period in critical sections. It must
+	// be a multiple of SamplePeriod (adaptation happens on sampling
+	// boundaries, every AdaptPeriod/SamplePeriod samples); Validate
+	// rejects other values.
 	AdaptPeriod uint64
 	// UpThreshold and DownThreshold bound the ticket↔mcs hysteresis band.
 	UpThreshold   float64
@@ -107,10 +116,14 @@ type Config struct {
 	Monitor *sysmon.Monitor
 	// DisableAdaptation freezes the lock in its initial mode. The paper's
 	// overhead experiments (Figure 6/7) compare against this configuration.
+	// Sampling still runs (it feeds the queue statistics and the presence-
+	// counter inflation trigger); only the mode decision is skipped.
 	DisableAdaptation bool
 	// InitialMode is the mode a fresh lock starts in (default ModeTicket).
 	// The paper's Figure 6 baseline "fix[es] the non-adaptive GLK to ticket
-	// mode [or] to mcs mode".
+	// mode [or] to mcs mode". A lock born in mcs or mutex mode expects
+	// contention, so it is built with its low-level lock allocated and its
+	// presence counter pre-inflated.
 	InitialMode Mode
 	// SampleLowLevelQueues selects the paper's original queue measurement:
 	// ticket−owner distance in ticket mode, a queue traversal in mcs mode,
@@ -130,7 +143,9 @@ type Config struct {
 	// and queue lengths, and mode transitions (package telemetry). The
 	// instrumented paths are selected once, at construction — a lock built
 	// without Stats runs the exact uninstrumented hot path, gated by a
-	// single predicted branch on the already-hot config line.
+	// single predicted branch on the already-hot shared line. The stats
+	// object is also handed a presence sampler so telemetry reads this
+	// lock's own counter instead of keeping a duplicate (DESIGN.md §8).
 	Stats *telemetry.LockStats
 }
 
@@ -169,6 +184,15 @@ func (c Config) Validate() error {
 	if d.AdaptPeriod < d.SamplePeriod {
 		return fmt.Errorf("glk: AdaptPeriod %d < SamplePeriod %d", d.AdaptPeriod, d.SamplePeriod)
 	}
+	if d.AdaptPeriod%d.SamplePeriod != 0 {
+		// Adaptation happens on sampling boundaries (the periods are stored
+		// as countdowns); a non-multiple would silently shorten the
+		// configured adaptation period.
+		return fmt.Errorf("glk: AdaptPeriod %d is not a multiple of SamplePeriod %d", d.AdaptPeriod, d.SamplePeriod)
+	}
+	if d.SamplePeriod > math.MaxUint32 || d.AdaptPeriod/d.SamplePeriod > math.MaxUint32 {
+		return fmt.Errorf("glk: periods %d/%d exceed the 32-bit countdown range", d.SamplePeriod, d.AdaptPeriod)
+	}
 	switch d.InitialMode {
 	case 0, ModeTicket, ModeMCS, ModeMutex:
 	default:
@@ -177,64 +201,88 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Padding for the Lock sections below (see the Lock doc comment and
-// glk/layout_test.go). sharedBytes counts lockType (4B, padded to 8 by
-// Config's 8-byte alignment) plus the config; holderBytes counts the four
-// 8-byte holder fields (numAcquired, queueTotal, transitions,
-// presentToken), the EMA, and the 4-byte acquiredMode.
-const (
-	sharedBytes = 8 + unsafe.Sizeof(Config{})
-	sharedPad   = (pad.CacheLineSize - sharedBytes%pad.CacheLineSize) % pad.CacheLineSize
-	holderBytes = 36 + unsafe.Sizeof(emastats.EMA{})
-	holderPad   = (pad.CacheLineSize - holderBytes%pad.CacheLineSize) % pad.CacheLineSize
-)
+// lockShared is the section of a Lock that arriving goroutines touch: the
+// mode word and stats pointer every arrival reads, the ticket words (GLK's
+// only inline low-level lock — in ticket mode this line carries the lock's
+// whole fast path), the lazy presence counter, and the lazily-allocated
+// mcs/mutex locks. In mcs and mutex modes the ticket words and (after
+// inflation) the presence cell go quiet, so the line is read-mostly exactly
+// when other goroutines spin elsewhere.
+type lockShared struct {
+	lockType atomic.Uint32   // current Mode
+	ticket   locks.TicketCore // low-contention mode lock, always present
+	stats    *telemetry.LockStats
+	present  stripe.Counter // inline cell + spill pointer (see below)
+	mcs      atomic.Pointer[locks.MCSLock]  // published before mode becomes mcs
+	mutex    atomic.Pointer[locks.MutexLock] // published before mode becomes mutex
+}
 
-// Lock is a GLK adaptive lock (the paper's glk_t, Figure 3). It contains
-// the mode flag, the three underlying lock objects, and the statistics
-// counters. Construct with New; the zero value is not usable.
-//
-// Field order is cache-line layout, not taxonomy (§3.2 pads every lock "for
-// fairness and for avoiding false cache-line sharing"; layout_test.go pins
-// the invariants). Four line-aligned sections:
-//
-//  1. lockType + cfg — read by every arriving goroutine, written only at
-//     construction and on (rare) mode transitions;
-//  2. holder-only statistics — written every critical section, but only by
-//     the goroutine currently holding the lock;
-//  3. the three low-level locks, each already padded to its own line(s);
-//  4. the striped presence counter, one line per stripe.
-//
-// Keeping per-acquisition writes off section 1 and off each other's lines
-// is what preserves MCS's local-spinning guarantee: an arriving goroutine
-// touches its own stripe and reads the mode word, and neither invalidates a
-// line some waiter is spinning on.
-type Lock struct {
-	lockType atomic.Uint32 // current Mode
-	cfg      Config        // immutable after New
-	_        [sharedPad]byte
+// lockConfig is the stored form of a Config: the fields consulted after
+// construction, compacted (periods as 32-bit countdown reload values, the
+// EMA weight folded into the EMA itself, Stats hoisted to the shared
+// section). It lives on the holder lines because only the holder — inside
+// tryAdapt and decide — reads it.
+type lockConfig struct {
+	samplePeriod         uint32 // sampleIn reload value, in critical sections
+	adaptSamples         uint32 // adaptIn reload value, in samples
+	upThreshold          float64
+	downThreshold        float64
+	mutexQueueFloor      float64
+	monitor              *sysmon.Monitor
+	onTransition         func(from, to Mode, reason string)
+	disableAdaptation    bool
+	sampleLowLevelQueues bool
+}
 
-	// Holder-only state, guarded by the lock itself.
+// lockHolder is the holder-only section: statistics written every critical
+// section, the countdowns driving sampling and adaptation, and the cold
+// config. All of it is guarded by the lock itself — plain (non-atomic)
+// updates are safe because the low-level lock orders them — except
+// transitions, which outside readers poll.
+type lockHolder struct {
 	numAcquired  uint64        // completed critical sections
 	queueTotal   uint64        // sum of sampled queue lengths (paper's counter)
 	queueEMA     emastats.EMA  // moving average of queue samples
 	transitions  atomic.Uint64 // mode changes, for observability
 	presentToken uint64        // holder's stripe token, repaid in Unlock
+	sampleIn     uint32        // critical sections until the next queue sample
+	adaptIn      uint32        // samples until the next adaptation decision
 	acquiredMode Mode          // which low-level lock the current holder took
-	_            [holderPad]byte
+	cfg          lockConfig
+}
 
-	ticket locks.TicketLock
-	mcs    locks.MCSLock
-	mutex  locks.MutexLock
-
-	// present counts goroutines at the lock — inside Lock/TryLock or holding
-	// it. The paper samples queuing from the low-level locks (ticket's
-	// counter distance, MCS queue traversal); on the Go runtime a preempted
-	// waiter may not have enqueued into the low-level lock yet, which makes
-	// those samples mode-asymmetric and flappy, so GLK counts presence
-	// itself, uniformly across modes (see DESIGN.md §4). The counter is
-	// striped so that arrival/release traffic stays off shared lines; only
-	// the holder sums it, every SamplePeriod critical sections.
-	present stripe.Counter
+// Lock is a GLK adaptive lock (the paper's glk_t, Figure 3). It contains
+// the mode flag, the underlying lock objects, and the statistics counters.
+// Construct with New; the zero value is not usable.
+//
+// Field order is cache-line layout, not taxonomy (§3.2 pads every lock "for
+// fairness and for avoiding false cache-line sharing"; layout_test.go pins
+// the invariants). Two line-aligned sections:
+//
+//  1. lockShared — everything an arriving goroutine touches (one line);
+//  2. lockHolder — statistics and config touched only by the current
+//     holder (two lines).
+//
+// The mcs and mutex low-level locks, the striped presence spill, and the
+// telemetry accumulator live behind pointers, allocated only when first
+// needed: an idle, never-contended lock — the overwhelming majority in a
+// million-key table — is 3 cache lines instead of the 15 an eagerly-striped
+// layout costs (DESIGN.md §8). The presence counter starts as an inline
+// cell on the shared line; once contention is observed — the holder's
+// sampling reads a queue (inflateQueueLen), or a TryLock finds the lock
+// held — it inflates to one line per stripe, so under sustained contention
+// arrival/release writes leave the shared line exactly as in the eager
+// layout, preserving MCS's local-spinning guarantee. The pre-inflation
+// window (at most one sample period of contended use, or a single failed
+// try) is the only time an arrival's write can invalidate a line another
+// goroutine reads.
+type Lock struct {
+	lockShared
+	_ [(pad.CacheLineSize - unsafe.Sizeof(lockShared{})%pad.CacheLineSize) % pad.CacheLineSize]byte
+	lockHolder
+	// No trailing pad: lockHolder fills its two lines exactly (a zero-length
+	// trailing array would itself add padding); TestLockFootprint pins the
+	// whole-lines invariant.
 }
 
 var _ locks.Lock = (*Lock)(nil)
@@ -251,23 +299,44 @@ func New(cfg *Config) *Lock {
 		panic(err)
 	}
 	c = c.withDefaults()
-	l := &Lock{cfg: c}
+	l := &Lock{}
+	l.cfg = lockConfig{
+		samplePeriod:         uint32(c.SamplePeriod),
+		adaptSamples:         uint32(c.AdaptPeriod / c.SamplePeriod),
+		upThreshold:          c.UpThreshold,
+		downThreshold:        c.DownThreshold,
+		mutexQueueFloor:      c.MutexQueueFloor,
+		monitor:              c.Monitor,
+		onTransition:         c.OnTransition,
+		disableAdaptation:    c.DisableAdaptation,
+		sampleLowLevelQueues: c.SampleLowLevelQueues,
+	}
+	l.sampleIn = l.cfg.samplePeriod
+	l.adaptIn = l.cfg.adaptSamples
 	l.queueEMA = emastats.NewEMA(c.EMAWeight)
 	initial := c.InitialMode
 	if initial == 0 {
 		initial = ModeTicket
 	}
+	l.ensureLow(initial)
+	if initial != ModeTicket {
+		// A lock frozen or started in a contended mode expects contention:
+		// pre-inflate so arrival traffic never writes the shared line.
+		l.present.Inflate()
+	}
 	l.lockType.Store(uint32(initial))
 	if c.Stats != nil {
-		c.Stats.SetMode(initial.String())
+		l.stats = c.Stats
+		l.stats.SetPresenceSampler(l.present.Sum)
+		l.stats.SetMode(initial.String())
 	}
 	return l
 }
 
 // monitor returns the configured or shared multiprogramming monitor.
 func (l *Lock) monitor() *sysmon.Monitor {
-	if l.cfg.Monitor != nil {
-		return l.cfg.Monitor
+	if l.cfg.monitor != nil {
+		return l.cfg.monitor
 	}
 	return sysmon.Shared()
 }
@@ -278,12 +347,17 @@ func (l *Lock) Mode() Mode { return Mode(l.lockType.Load()) }
 // Transitions returns the number of mode changes performed so far.
 func (l *Lock) Transitions() uint64 { return l.transitions.Load() }
 
+// PresenceInflated reports whether the lock has spilled its presence
+// counter to the striped form — i.e. whether it ever observed contention.
+// Introspection for footprint accounting (glsbench -cardinality) and tests.
+func (l *Lock) PresenceInflated() bool { return l.present.Inflated() }
+
 // Lock acquires l, adapting the mode if the statistics call for it
 // (paper Figure 4).
 func (l *Lock) Lock() {
 	tok := stripe.Self()
 	l.present.Add(tok, 1)
-	if l.cfg.Stats != nil {
+	if l.stats != nil {
 		l.lockInstrumented(tok)
 		return
 	}
@@ -305,7 +379,7 @@ func (l *Lock) Lock() {
 // try-first probe of the low-level lock so a blocked arrival is counted as
 // a contended acquisition, and the Arrive/Acquired hook pair around it.
 func (l *Lock) lockInstrumented(tok uint64) {
-	a := l.cfg.Stats.Arrive(tok)
+	a := l.stats.Arrive(tok)
 	contended := false
 	for {
 		cur := Mode(l.lockType.Load())
@@ -327,12 +401,19 @@ func (l *Lock) lockInstrumented(tok uint64) {
 func (l *Lock) TryLock() bool {
 	tok := stripe.Self()
 	l.present.Add(tok, 1)
-	if l.cfg.Stats != nil {
+	if l.stats != nil {
 		return l.tryLockInstrumented(tok)
 	}
 	for {
 		cur := Mode(l.lockType.Load())
 		if !l.tryLockLow(cur) {
+			// A failed try observed the lock held — contention by
+			// definition, and the one contended pattern holder-side
+			// sampling can miss (pollers are present only transiently, so
+			// a TryLock-dominated workload might never sample q >= 2).
+			// Inflate here so repeated polling writes stripes, not the
+			// shared line.
+			l.present.Inflate()
 			l.present.Add(tok, -1)
 			return false
 		}
@@ -347,10 +428,11 @@ func (l *Lock) TryLock() bool {
 
 // tryLockInstrumented is TryLock's telemetry twin.
 func (l *Lock) tryLockInstrumented(tok uint64) bool {
-	a := l.cfg.Stats.Arrive(tok)
+	a := l.stats.Arrive(tok)
 	for {
 		cur := Mode(l.lockType.Load())
 		if !l.tryLockLow(cur) {
+			l.present.Inflate() // observed held: see TryLock
 			l.present.Add(tok, -1)
 			a.Failed()
 			return false
@@ -369,15 +451,34 @@ func (l *Lock) tryLockInstrumented(tok uint64) bool {
 func (l *Lock) Unlock() {
 	m := l.acquiredMode
 	l.acquiredMode = 0
-	if l.cfg.Stats != nil {
+	if l.stats != nil {
 		// Record the hold sample while still holding: the hold timer is
 		// holder-only state.
-		l.cfg.Stats.Release(l.presentToken)
+		l.stats.Release(l.presentToken)
 	}
 	// Repay the stripe taken in Lock/TryLock while still holding the lock:
 	// presentToken is holder-only state.
 	l.present.Add(l.presentToken, -1)
 	l.unlockLow(m)
+}
+
+// ensureLow makes sure mode m's low-level lock exists before the mode word
+// can point at it. The ticket lock is inline; mcs and mutex are allocated
+// on the first transition to (or construction in) their mode — rare,
+// holder-only events, so a plain atomic publish suffices: arrivals only
+// dereference the pointer after loading a mode word that was stored after
+// the pointer.
+func (l *Lock) ensureLow(m Mode) {
+	switch m {
+	case ModeMCS:
+		if l.mcs.Load() == nil {
+			l.mcs.Store(locks.NewMCS())
+		}
+	case ModeMutex:
+		if l.mutex.Load() == nil {
+			l.mutex.Store(locks.NewMutex())
+		}
+	}
 }
 
 // lockLow acquires the low-level lock for mode m.
@@ -386,9 +487,9 @@ func (l *Lock) lockLow(m Mode) {
 	case ModeTicket:
 		l.ticket.Lock()
 	case ModeMCS:
-		l.mcs.Lock()
+		l.mcs.Load().Lock()
 	case ModeMutex:
-		l.mutex.Lock()
+		l.mutex.Load().Lock()
 	default:
 		panic(fmt.Sprintf("glk: corrupt mode %v (use glk.New)", m))
 	}
@@ -400,9 +501,9 @@ func (l *Lock) tryLockLow(m Mode) bool {
 	case ModeTicket:
 		return l.ticket.TryLock()
 	case ModeMCS:
-		return l.mcs.TryLock()
+		return l.mcs.Load().TryLock()
 	case ModeMutex:
-		return l.mutex.TryLock()
+		return l.mutex.Load().TryLock()
 	default:
 		panic(fmt.Sprintf("glk: corrupt mode %v (use glk.New)", m))
 	}
@@ -414,9 +515,9 @@ func (l *Lock) unlockLow(m Mode) {
 	case ModeTicket:
 		l.ticket.Unlock()
 	case ModeMCS:
-		l.mcs.Unlock()
+		l.mcs.Load().Unlock()
 	case ModeMutex:
-		l.mutex.Unlock()
+		l.mutex.Load().Unlock()
 	default:
 		panic(fmt.Sprintf("glk: Unlock of unlocked or corrupt lock (mode %v)", m))
 	}
@@ -424,7 +525,8 @@ func (l *Lock) unlockLow(m Mode) {
 
 // queueLen samples the number of goroutines at the lock, holder included.
 // The sample is mode-independent by design; see the present field. It sums
-// all stripes and is only called by the holder, once per SamplePeriod.
+// the inline cell and any stripes, and is only called by the holder, once
+// per SamplePeriod.
 func (l *Lock) queueLen() int {
 	return int(l.present.Sum())
 }
@@ -437,9 +539,15 @@ func (l *Lock) queueLenLow(m Mode) int {
 	case ModeTicket:
 		return l.ticket.QueueLen()
 	case ModeMCS:
-		return l.mcs.QueueLen()
+		if q := l.mcs.Load(); q != nil {
+			return q.QueueLen()
+		}
+		return 0
 	case ModeMutex:
-		return l.mutex.QueueLen()
+		if q := l.mutex.Load(); q != nil {
+			return q.QueueLen()
+		}
+		return 0
 	default:
 		return 0
 	}
@@ -451,39 +559,57 @@ func (l *Lock) queueLenLow(m Mode) int {
 // Figure 4, line 15).
 //
 // All statistics fields are holder-only, so plain (non-atomic) updates are
-// safe: the low-level lock orders them.
+// safe: the low-level lock orders them. The periods are countdowns rather
+// than the paper's modulo tests so the per-section cost is a decrement and
+// a predicted branch, cheap enough to keep running when adaptation is
+// disabled — frozen locks still sample, because sampling is also what
+// triggers presence-counter inflation.
 func (l *Lock) tryAdapt(cur Mode) bool {
-	if l.cfg.DisableAdaptation {
+	l.numAcquired++
+	l.sampleIn--
+	if l.sampleIn != 0 {
 		return false
 	}
-	l.numAcquired++
-	if l.numAcquired%l.cfg.SamplePeriod == 0 {
-		var q int
-		if l.cfg.SampleLowLevelQueues {
-			q = l.queueLenLow(cur)
-		} else {
-			q = l.queueLen()
-		}
-		if q < 0 {
-			q = 0
-		}
-		l.queueTotal += uint64(q)
-		l.queueEMA.Add(float64(q))
+	l.sampleIn = l.cfg.samplePeriod
+
+	var q int
+	if l.cfg.sampleLowLevelQueues {
+		q = l.queueLenLow(cur)
+	} else {
+		q = l.queueLen()
 	}
-	if l.numAcquired%l.cfg.AdaptPeriod != 0 {
+	if q < 0 {
+		q = 0
+	}
+	if q >= inflateQueueLen {
+		// First observed contention: spill the presence counter off the
+		// shared line before the contenders keep hammering it. Inflate is
+		// idempotent and almost always already done.
+		l.present.Inflate()
+	}
+	l.queueTotal += uint64(q)
+	l.queueEMA.Add(float64(q))
+
+	l.adaptIn--
+	if l.adaptIn != 0 {
+		return false
+	}
+	l.adaptIn = l.cfg.adaptSamples
+	if l.cfg.disableAdaptation {
 		return false
 	}
 	target, reason := l.decide(cur)
 	if target == cur {
 		return false
 	}
+	l.ensureLow(target)
 	l.lockType.Store(uint32(target))
 	l.transitions.Add(1)
-	if l.cfg.Stats != nil {
-		l.cfg.Stats.Transition(cur.String(), target.String(), reason)
+	if l.stats != nil {
+		l.stats.Transition(cur.String(), target.String(), reason)
 	}
-	if l.cfg.OnTransition != nil {
-		l.cfg.OnTransition(cur, target, reason)
+	if l.cfg.onTransition != nil {
+		l.cfg.onTransition(cur, target, reason)
 	}
 	return true
 }
@@ -507,7 +633,7 @@ func (l *Lock) decide(cur Mode) (Mode, string) {
 		// Contended locks must block; near-idle locks stay in ticket mode
 		// "in order to complete these critical sections as fast as
 		// possible" (paper §3).
-		if avg >= l.cfg.MutexQueueFloor {
+		if avg >= l.cfg.mutexQueueFloor {
 			return ModeMutex, fmt.Sprintf("multiprogramming (avg queue %.2f)", avg)
 		}
 		if cur != ModeTicket {
@@ -517,10 +643,10 @@ func (l *Lock) decide(cur Mode) (Mode, string) {
 	}
 
 	switch {
-	case avg > l.cfg.UpThreshold:
-		return ModeMCS, fmt.Sprintf("avg queue %.2f > %.2f", avg, l.cfg.UpThreshold)
-	case avg < l.cfg.DownThreshold:
-		return ModeTicket, fmt.Sprintf("avg queue %.2f < %.2f", avg, l.cfg.DownThreshold)
+	case avg > l.cfg.upThreshold:
+		return ModeMCS, fmt.Sprintf("avg queue %.2f > %.2f", avg, l.cfg.upThreshold)
+	case avg < l.cfg.downThreshold:
+		return ModeTicket, fmt.Sprintf("avg queue %.2f < %.2f", avg, l.cfg.downThreshold)
 	default:
 		// Inside the hysteresis band: leaving mutex needs a decision even
 		// when the band says "keep". Mid-band contention maps to mcs.

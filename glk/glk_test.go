@@ -22,12 +22,12 @@ func TestNewDefaults(t *testing.T) {
 	if got := l.Mode(); got != ModeTicket {
 		t.Fatalf("fresh lock mode = %v, want ticket", got)
 	}
-	if l.cfg.SamplePeriod != DefaultSamplePeriod || l.cfg.AdaptPeriod != DefaultAdaptPeriod {
+	if l.cfg.samplePeriod != DefaultSamplePeriod {
 		t.Fatalf("defaults not applied: %+v", l.cfg)
 	}
-	if l.cfg.AdaptPeriod/l.cfg.SamplePeriod != 32 {
+	if l.cfg.adaptSamples != 32 {
 		t.Fatalf("default periods give %d samples per adaptation, paper wants 32",
-			l.cfg.AdaptPeriod/l.cfg.SamplePeriod)
+			l.cfg.adaptSamples)
 	}
 }
 
@@ -37,6 +37,9 @@ func TestConfigValidate(t *testing.T) {
 		{EMAWeight: 1.5},
 		{EMAWeight: -0.5},
 		{SamplePeriod: 512, AdaptPeriod: 128},
+		// Non-multiple periods would silently shorten the adaptation
+		// cadence (the periods are countdowns on sampling boundaries).
+		{SamplePeriod: 100, AdaptPeriod: 150},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {

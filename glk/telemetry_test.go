@@ -29,6 +29,11 @@ func TestInstrumentedLockCounts(t *testing.T) {
 	if l.TryLock() {
 		t.Fatal("TryLock succeeded on held lock")
 	}
+	// While held, the snapshot's Present comes from glk's own presence
+	// counter (the telemetry lanes keep no duplicate): exactly the holder.
+	if p := reg.Snapshot().Lock(1).Present; p != 1 {
+		t.Fatalf("Present while held = %d, want 1 (via the presence sampler)", p)
+	}
 	l.Unlock()
 	s := reg.Snapshot().Lock(1)
 	if s.Acquisitions != 11 || s.TryFails != 1 || s.Arrivals != 12 {

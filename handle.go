@@ -1,6 +1,10 @@
 package gls
 
-import "gls/locks"
+import (
+	"fmt"
+
+	"gls/locks"
+)
 
 // Handle is a per-goroutine accessor implementing the paper's §4.1
 // "Lock-cache Optimization": it remembers the last (key, lock) pair it
@@ -41,31 +45,45 @@ func (s *Service) NewHandle() *Handle {
 	return &Handle{s: s}
 }
 
-// lookup resolves key via the one-entry cache.
+// cacheHit reports whether the cached pair may be used for key.
 //
 // The staleness protocol (see Service.freeStart): a hit requires both free
 // counters to equal the cached epoch — freeStart catches any Free that has
 // so much as begun since the pair was resolved, freeDone catches Frees
-// that were already mid-delete back then. The miss path snapshots the
-// counters *before* resolving and only trusts the pair if no Free was in
-// flight, so a lookup racing a delete can cache but never hit. A Free
-// racing the acquisition itself (resolve, then the lock is freed and the
-// key remapped before Lock returns) is the caller's lifecycle hazard, with
-// or without a handle, exactly as in the paper.
-func (h *Handle) lookup(key uint64) locks.Lock {
-	if key == h.lastKey && h.lastLock != nil {
-		if e := h.s.freeDone.Load(); e == h.epoch && h.s.freeStart.Load() == e {
-			return h.lastLock
-		}
+// that were already mid-delete back then.
+func (h *Handle) cacheHit(key uint64) bool {
+	if key != h.lastKey || h.lastLock == nil {
+		return false
 	}
-	done := h.s.freeDone.Load()
-	start := h.s.freeStart.Load()
-	e, _ := h.s.entryFor(key, algoGLK)
+	e := h.s.freeDone.Load()
+	return e == h.epoch && h.s.freeStart.Load() == e
+}
+
+// cacheStore records a pair resolved while the free counters read (start,
+// done). start and done must have been loaded, in that field order done
+// then start, *before* resolving the lock: the pair is only trusted when
+// no Free was in flight across the resolution, so a lookup racing a delete
+// can cache but never hit.
+func (h *Handle) cacheStore(key uint64, l locks.Lock, start, done uint64) {
 	epoch := start
 	if start != done {
 		epoch = noFreeEpoch // a Free was in flight: never trust this pair
 	}
-	h.lastKey, h.lastLock, h.epoch = key, e.lock, epoch
+	h.lastKey, h.lastLock, h.epoch = key, l, epoch
+}
+
+// lookup resolves key via the one-entry cache, creating the entry on a
+// first use. A Free racing the acquisition itself (resolve, then the lock
+// is freed and the key remapped before Lock returns) is the caller's
+// lifecycle hazard, with or without a handle, exactly as in the paper.
+func (h *Handle) lookup(key uint64) locks.Lock {
+	if h.cacheHit(key) {
+		return h.lastLock
+	}
+	done := h.s.freeDone.Load()
+	start := h.s.freeStart.Load()
+	e, _ := h.s.entryFor(key, algoGLK)
+	h.cacheStore(key, e.lock, start, done)
 	return e.lock
 }
 
@@ -79,10 +97,33 @@ func (h *Handle) TryLock(key uint64) bool {
 	return h.lookup(key).TryLock()
 }
 
+// lookupExisting resolves key via the cache without ever creating an
+// entry, for the release path: a miss that finds no mapping is a caller
+// bug, not a first use. It panics with Service.Unlock's fast-path message;
+// unlike Service.Unlock it panics even when the service runs in debug mode
+// — handles bypass the debug checks by design (see the Handle doc), so
+// there is no reporter to hand the issue to.
+func (h *Handle) lookupExisting(key uint64) locks.Lock {
+	if h.cacheHit(key) {
+		return h.lastLock
+	}
+	done := h.s.freeDone.Load()
+	start := h.s.freeStart.Load()
+	e := h.s.table.Get(key)
+	if e == nil {
+		panic(fmt.Sprintf("gls: Unlock(%#x): key was never locked", key))
+	}
+	h.cacheStore(key, e.lock, start, done)
+	return e.lock
+}
+
 // Unlock releases the lock for key. With no lock nesting this always hits
-// the cache (the last lock touched is the one being released).
+// the cache (the last lock touched is the one being released). Unlocking a
+// key that was never locked panics — a cache miss resolves through the
+// table without creating an entry, so the handle cannot conjure (and then
+// corrupt) a fresh lock the way releasing through a creating lookup would.
 func (h *Handle) Unlock(key uint64) {
-	h.lookup(key).Unlock()
+	h.lookupExisting(key).Unlock()
 }
 
 // Invalidate drops the cached pair. Since Free already advances the

@@ -1,6 +1,8 @@
 package gls
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -146,6 +148,65 @@ func TestHandleStaleAfterFreeCrossGoroutine(t *testing.T) {
 	<-done
 	h.Lock(21)
 	h.Unlock(21)
+}
+
+// mustPanic runs f and reports the recovered panic message, failing the
+// test if f returns normally.
+func mustPanic(t *testing.T, what string, f func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+		msg = fmt.Sprint(r)
+	}()
+	f()
+	return ""
+}
+
+func TestHandleUnlockNeverLockedPanics(t *testing.T) {
+	// The miss path of Handle.Unlock must not create an entry: releasing a
+	// key that was never locked used to silently conjure a fresh GLK lock
+	// and corrupt it with an unpaired Unlock.
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	msg := mustPanic(t, "Handle.Unlock of a never-locked key", func() { h.Unlock(0x123) })
+	if !strings.Contains(msg, "never locked") {
+		t.Fatalf("panic %q does not match Service.Unlock's contract", msg)
+	}
+	if n := s.Locks(); n != 0 {
+		t.Fatalf("Unlock miss created %d entries", n)
+	}
+}
+
+func TestHandleUnlockAfterFreePanics(t *testing.T) {
+	// After a Free, the stale cached pair must not be trusted and the miss
+	// must fail like Service.Unlock, not resurrect the key.
+	s := newTestService(t, Options{})
+	h := s.NewHandle()
+	h.Lock(11)
+	h.Unlock(11)
+	s.Free(11)
+	mustPanic(t, "Handle.Unlock of a freed key", func() { h.Unlock(11) })
+	if n := s.Locks(); n != 0 {
+		t.Fatalf("Unlock of freed key re-created %d entries", n)
+	}
+}
+
+func TestHandleUnlockMissResolvesExistingLock(t *testing.T) {
+	// A cache-missing Unlock of a genuinely mapped key still resolves (and
+	// caches) the real lock: lock through the service, release through a
+	// fresh handle.
+	s := newTestService(t, Options{})
+	s.Lock(42)
+	h := s.NewHandle()
+	h.Unlock(42)
+	if h.lastKey != 42 || h.lastLock == nil {
+		t.Fatal("Unlock miss did not populate the cache")
+	}
+	h.Lock(42) // must hit the cache and the same lock
+	h.Unlock(42)
 }
 
 func TestHandleInvalidate(t *testing.T) {

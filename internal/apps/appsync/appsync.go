@@ -215,6 +215,12 @@ func (p *GLS) InitLock(role string) {
 	if p.specialize != nil {
 		algo = p.specialize(role)
 	}
+	if algo == 0 {
+		// Unspecialized roles take the GLK default; the zero Algorithm is
+		// GLS-internal and InitLockWith rejects it like every *With entry.
+		p.svc.InitLock(p.keyFor(role))
+		return
+	}
 	p.svc.InitLockWith(algo, p.keyFor(role))
 }
 

@@ -1,5 +1,5 @@
-// Package stripe provides a cache-line-striped counter for hot-path
-// presence accounting.
+// Package stripe provides a lazily-striped counter for hot-path presence
+// accounting.
 //
 // GLK counts the goroutines at each lock (arriving, waiting, or holding) to
 // measure contention. A single atomic counter makes that measurement itself
@@ -11,6 +11,17 @@
 // updates "its" cell, chosen by a cheap per-goroutine hash, so updates from
 // different cores usually touch different lines. Only Sum — called by the
 // lock holder once every sampling period — reads all cells.
+//
+// Striping costs footprint: NumStripes cache lines per counter, which a
+// table with millions of fine-grained keys cannot afford when the
+// overwhelming majority of its locks never see a second goroutine
+// (DESIGN.md §8). A Counter is therefore lazy: it starts as one inline
+// cell (16 bytes including the spill pointer) and inflates to a
+// heap-allocated stripe array only when its owner reports contention via
+// Inflate. Updates before inflation hit the inline cell; updates after land
+// in the stripes. The two phases may split one goroutine's paired +1/−1
+// across the inline cell and a stripe, which is fine: Sum reads both, and
+// only the total is meaningful.
 //
 // The trade-off is exactly the one the paper makes for sampling in general:
 // writes must be cheap and uncoordinated, reads may be expensive and
@@ -24,12 +35,11 @@ import (
 	"gls/internal/pad"
 )
 
-// NumStripes is the number of independent counter cells. It is a power of
-// two so cell selection is a mask, and is fixed at compile time so Counter
-// can be embedded without indirection. Eight cells are enough to spread the
-// arrival traffic of far more cores than eight, because a stripe is only
-// contended when two simultaneously-arriving goroutines hash to the same
-// cell.
+// NumStripes is the number of independent cells in an inflated counter. It
+// is a power of two so cell selection is a mask. Eight cells are enough to
+// spread the arrival traffic of far more cores than eight, because a stripe
+// is only contended when two simultaneously-arriving goroutines hash to the
+// same cell.
 const NumStripes = 8
 
 // cell is one stripe: a counter alone on its cache line.
@@ -38,11 +48,24 @@ type cell struct {
 	_ [pad.CacheLineSize - 8]byte
 }
 
-// Counter is a striped int64 counter. The zero value is ready to use and
-// reads zero. Embed it directly (it is NumStripes cache lines large); the
-// embedding struct should start it on a cache-line boundary.
-type Counter struct {
+// spill is the inflated form: one line-sized cell per stripe.
+type spill struct {
 	cells [NumStripes]cell
+}
+
+// SpillBytes is the heap cost a Counter pays on first inflation, for
+// footprint accounting (glsbench -cardinality).
+const SpillBytes = unsafe.Sizeof(spill{})
+
+// Counter is a lazily-striped int64 counter. The zero value is ready to use
+// and reads zero. Deflated it is a single inline cell plus a nil spill
+// pointer — embed it where the owner already pays for the line (both words
+// are written per update, so they must not share a line with data other
+// goroutines spin on once the counter is expected to stay deflated).
+// Inflate spreads all future updates over NumStripes private lines.
+type Counter struct {
+	inline atomic.Int64
+	spill  atomic.Pointer[spill]
 }
 
 // Self returns the calling goroutine's stripe token. Add calls with the
@@ -71,20 +94,48 @@ func Self() uint64 {
 	return (h * 0x9e3779b97f4a7c15) >> 32
 }
 
-// Add adds delta to the cell selected by token. It performs one atomic
-// add on one cache line and never spins, blocks, or allocates.
+// Add adds delta to the cell selected by token — the inline cell while the
+// counter is deflated, a stripe afterwards. It performs one atomic add on
+// one cache line and never spins, blocks, or allocates.
+//
+// An updater that read the spill pointer as nil, was preempted across an
+// Inflate, and then decrements through a stripe leaves the inline cell and
+// that stripe individually non-zero; Sum still reads the exact total, which
+// is the only value with meaning.
 func (c *Counter) Add(token uint64, delta int64) {
-	c.cells[token&(NumStripes-1)].n.Add(delta)
+	if sp := c.spill.Load(); sp != nil {
+		sp.cells[token&(NumStripes-1)].n.Add(delta)
+		return
+	}
+	c.inline.Add(delta)
 }
 
-// Sum returns the total across all cells. Concurrent Adds may or may not be
-// observed; the result is exact once updaters are quiescent. Sum reads
-// NumStripes cache lines, so callers should amortize it (GLK calls it once
-// per SamplePeriod critical sections, from the lock holder).
+// Sum returns the total across the inline cell and, once inflated, all
+// stripes. Concurrent Adds may or may not be observed; the result is exact
+// once updaters are quiescent. An inflated Sum reads NumStripes+1 cache
+// lines, so callers should amortize it (GLK calls it once per SamplePeriod
+// critical sections, from the lock holder).
 func (c *Counter) Sum() int64 {
-	var s int64
-	for i := range c.cells {
-		s += c.cells[i].n.Load()
+	s := c.inline.Load()
+	if sp := c.spill.Load(); sp != nil {
+		for i := range sp.cells {
+			s += sp.cells[i].n.Load()
+		}
 	}
 	return s
 }
+
+// Inflate switches the counter to its striped form, allocating the stripe
+// array on first call; later calls are no-ops. Callers invoke it when the
+// counter's owner first observes contention (GLK: a sampled queue with more
+// than the holder present), from any goroutine — publication is a CAS, and
+// updates racing the inflation stay exact (see Add).
+func (c *Counter) Inflate() {
+	if c.spill.Load() != nil {
+		return
+	}
+	c.spill.CompareAndSwap(nil, new(spill))
+}
+
+// Inflated reports whether Add has switched to the striped form.
+func (c *Counter) Inflated() bool { return c.spill.Load() != nil }

@@ -8,41 +8,80 @@ import (
 	"gls/internal/pad"
 )
 
-// TestLayout pins the padding invariants: every cell owns a full cache line
-// and the counter is exactly NumStripes lines, so embedding it at a
-// line-aligned offset keeps all cells line-aligned.
+// TestLayout pins the footprint invariants of the lazy counter: deflated it
+// is two words (the whole point — an idle lock pays 16 bytes, not 8 lines),
+// and the spill keeps every stripe on a full private line.
 func TestLayout(t *testing.T) {
+	if s := unsafe.Sizeof(Counter{}); s != 16 {
+		t.Errorf("deflated Counter is %d bytes, want 16 (inline cell + spill pointer)", s)
+	}
 	if s := unsafe.Sizeof(cell{}); s != pad.CacheLineSize {
 		t.Errorf("cell is %d bytes, want exactly one %d-byte line", s, pad.CacheLineSize)
 	}
-	if s := unsafe.Sizeof(Counter{}); s != NumStripes*pad.CacheLineSize {
-		t.Errorf("Counter is %d bytes, want %d", s, NumStripes*pad.CacheLineSize)
+	if s := unsafe.Sizeof(spill{}); s != NumStripes*pad.CacheLineSize {
+		t.Errorf("spill is %d bytes, want %d", s, NumStripes*pad.CacheLineSize)
 	}
 	if NumStripes&(NumStripes-1) != 0 {
 		t.Errorf("NumStripes = %d is not a power of two", NumStripes)
 	}
 }
 
-// TestSumExact: the total is exact regardless of which stripes absorbed the
-// updates.
+// TestSumExact: the total is exact regardless of which cells absorbed the
+// updates, deflated or inflated.
 func TestSumExact(t *testing.T) {
+	for _, inflated := range []bool{false, true} {
+		var c Counter
+		if inflated {
+			c.Inflate()
+		}
+		for i := 0; i < 1000; i++ {
+			c.Add(uint64(i), 1)
+		}
+		if got := c.Sum(); got != 1000 {
+			t.Fatalf("inflated=%v: Sum = %d, want 1000", inflated, got)
+		}
+		for i := 0; i < 1000; i++ {
+			c.Add(uint64(i)*0x9e3779b9, -1)
+		}
+		if got := c.Sum(); got != 0 {
+			t.Fatalf("inflated=%v: Sum after drain = %d, want 0", inflated, got)
+		}
+	}
+}
+
+// TestInflateMidstream: updates recorded before inflation stay in the total,
+// and decrements that land in stripes for increments that landed inline
+// still cancel.
+func TestInflateMidstream(t *testing.T) {
 	var c Counter
-	for i := 0; i < 1000; i++ {
-		c.Add(uint64(i), 1)
+	for i := 0; i < 10; i++ {
+		c.Add(uint64(i), 1) // all inline
 	}
-	if got := c.Sum(); got != 1000 {
-		t.Fatalf("Sum = %d, want 1000", got)
+	if c.Inflated() {
+		t.Fatal("counter inflated before Inflate")
 	}
-	for i := 0; i < 1000; i++ {
-		c.Add(uint64(i)*0x9e3779b9, -1)
+	c.Inflate()
+	if !c.Inflated() {
+		t.Fatal("Inflate did not publish the spill")
+	}
+	if got := c.Sum(); got != 10 {
+		t.Fatalf("Sum after inflation = %d, want 10 (inline contribution lost)", got)
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(uint64(i), -1) // all striped, paired with inline +1s
 	}
 	if got := c.Sum(); got != 0 {
-		t.Fatalf("Sum after drain = %d, want 0", got)
+		t.Fatalf("Sum after cross-phase drain = %d, want 0", got)
+	}
+	c.Inflate() // idempotent
+	if got := c.Sum(); got != 0 {
+		t.Fatalf("Sum after re-Inflate = %d, want 0", got)
 	}
 }
 
 // TestConcurrentBalance: concurrent paired Add(+1)/Add(-1) always settles
-// to zero, with tokens both stable and varying per goroutine.
+// to zero, with tokens both stable and varying per goroutine, and with an
+// inflation racing the updates.
 func TestConcurrentBalance(t *testing.T) {
 	var c Counter
 	var wg sync.WaitGroup
@@ -54,6 +93,9 @@ func TestConcurrentBalance(t *testing.T) {
 			for i := 0; i < 10000; i++ {
 				c.Add(tok, 1)
 				c.Add(seed+uint64(i), 2)
+				if seed == 0 && i == 5000 {
+					c.Inflate() // race the inflation against live updaters
+				}
 				c.Add(seed+uint64(i), -2)
 				c.Add(tok, -1)
 			}
@@ -62,6 +104,9 @@ func TestConcurrentBalance(t *testing.T) {
 	wg.Wait()
 	if got := c.Sum(); got != 0 {
 		t.Fatalf("Sum = %d, want 0", got)
+	}
+	if !c.Inflated() {
+		t.Fatal("counter not inflated after concurrent Inflate")
 	}
 }
 
@@ -75,7 +120,8 @@ func TestSelfStableWithinGoroutine(t *testing.T) {
 }
 
 // TestSelfDoesNotAllocate guards the hot path: a heap allocation per
-// arrival would dwarf the saved coherence traffic.
+// arrival would dwarf the saved coherence traffic. Inflate allocates once
+// (the spill) and never again.
 func TestSelfDoesNotAllocate(t *testing.T) {
 	var sink uint64
 	if n := testing.AllocsPerRun(100, func() { sink = Self() }); n != 0 {
@@ -83,12 +129,28 @@ func TestSelfDoesNotAllocate(t *testing.T) {
 	}
 	var c Counter
 	if n := testing.AllocsPerRun(100, func() { c.Add(sink, 1) }); n != 0 {
-		t.Fatalf("Add allocates %.1f objects per call", n)
+		t.Fatalf("deflated Add allocates %.1f objects per call", n)
+	}
+	c.Inflate()
+	if n := testing.AllocsPerRun(100, func() { c.Add(sink, 1) }); n != 0 {
+		t.Fatalf("inflated Add allocates %.1f objects per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { c.Inflate() }); n != 0 {
+		t.Fatalf("repeated Inflate allocates %.1f objects per call", n)
 	}
 }
 
 func BenchmarkAdd(b *testing.B) {
 	var c Counter
+	tok := Self()
+	for i := 0; i < b.N; i++ {
+		c.Add(tok, 1)
+	}
+}
+
+func BenchmarkAddInflated(b *testing.B) {
+	var c Counter
+	c.Inflate()
 	tok := Self()
 	for i := 0; i < b.N; i++ {
 		c.Add(tok, 1)
@@ -105,6 +167,7 @@ func BenchmarkSelf(b *testing.B) {
 
 func BenchmarkAddParallel(b *testing.B) {
 	var c Counter
+	c.Inflate()
 	b.RunParallel(func(pb *testing.PB) {
 		tok := Self()
 		for pb.Next() {

@@ -7,19 +7,30 @@ import (
 	"gls/internal/pad"
 )
 
-// TicketLock is the fair spinlock GLK uses in its low-contention mode.
+// TicketCore is the unpadded state of a ticket lock: the two counters and
+// nothing else, 8 bytes. It exists for embedders that manage cache-line
+// placement themselves — glk.Lock keeps its idle footprint to a few lines
+// by folding the ticket words into a line it already owns (DESIGN.md §8)
+// — while standalone use should go through TicketLock, which pads the core
+// to a full line per the paper's §3.2 rule.
 //
 // A thread acquires by atomically taking the next ticket and spinning until
 // the owner counter reaches it; unlock increments owner. The lock is FIFO by
 // construction, and — crucially for GLK — `ticket − owner` exposes how many
 // threads are at the lock (waiters plus the current holder) for free (paper
 // §3, "Measuring Contention").
-type TicketLock struct {
+type TicketCore struct {
 	// next and owner share a cache line deliberately: an acquisition touches
 	// both and the paper's ticket lock is a single-line lock.
 	next  atomic.Uint32
 	owner atomic.Uint32
-	_     [pad.CacheLineSize - 8]byte
+}
+
+// TicketLock is TicketCore padded to its own cache line — the fair spinlock
+// GLK uses in its low-contention mode, in the standalone Table-1 shape.
+type TicketLock struct {
+	TicketCore
+	_ [pad.CacheLineSize - 8]byte
 }
 
 var (
@@ -33,7 +44,7 @@ func NewTicket() *TicketLock { return new(TicketLock) }
 // Lock takes the next ticket and waits for its turn. Waiting is
 // proportional: a thread whose ticket is far from the owner backs off
 // longer, which reduces traffic on the shared line.
-func (l *TicketLock) Lock() {
+func (l *TicketCore) Lock() {
 	t := l.next.Add(1) - 1
 	var s backoff.Spinner
 	for {
@@ -53,7 +64,7 @@ func (l *TicketLock) Lock() {
 }
 
 // TryLock acquires the lock only if no one holds or awaits it.
-func (l *TicketLock) TryLock() bool {
+func (l *TicketCore) TryLock() bool {
 	o := l.owner.Load()
 	if l.next.Load() != o {
 		return false
@@ -66,17 +77,17 @@ func (l *TicketLock) TryLock() bool {
 // Unlocking a free ticket lock corrupts it (the owner counter overtakes
 // next) — exactly the failure mode the paper's §4.2 debugging catches; GLS
 // in debug mode reports it instead of corrupting the lock.
-func (l *TicketLock) Unlock() {
+func (l *TicketCore) Unlock() {
 	l.owner.Add(1)
 }
 
 // QueueLen returns the number of threads at the lock: waiters plus one for
 // the holder, zero when free.
-func (l *TicketLock) QueueLen() int {
+func (l *TicketCore) QueueLen() int {
 	n := l.next.Load()
 	o := l.owner.Load()
 	return int(int32(n - o))
 }
 
 // Locked reports whether the lock is currently held (racy; diagnostics only).
-func (l *TicketLock) Locked() bool { return l.QueueLen() > 0 }
+func (l *TicketCore) Locked() bool { return l.QueueLen() > 0 }

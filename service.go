@@ -116,6 +116,12 @@ type entry struct {
 	_ [(pad.CacheLineSize - unsafe.Sizeof(entryStats{})%pad.CacheLineSize) % pad.CacheLineSize]byte
 }
 
+// EntryBytes is the inline size of one table entry (key, algorithm tag,
+// lock interface header, debug owner word, line padding) — the per-key
+// table cost on top of the lock object itself, exported for footprint
+// accounting (glsbench -cardinality).
+const EntryBytes = unsafe.Sizeof(entry{})
+
 // Service is one GLS instance: a concurrent key→lock table plus the
 // optional debug and profile machinery. Create with New; a Service must not
 // be copied.
@@ -351,15 +357,24 @@ func (s *Service) UnlockWith(a locks.Algorithm, key uint64) {
 // InitLock pre-creates the GLK lock for key — the analogue of
 // pthread_mutex_init for programs ported with Options.StrictInit.
 func (s *Service) InitLock(key uint64) {
-	s.InitLockWith(algoGLK, key)
+	s.initLockWith(algoGLK, key)
 }
 
 // InitLockWith pre-creates key's lock with an explicit algorithm. Passing
-// an invalid algorithm panics.
+// an invalid algorithm panics — including the zero Algorithm, which is
+// GLS's internal GLK tag, not a Table-1 algorithm; external callers reach
+// the GLK default through InitLock, keeping this entry point's validation
+// identical to LockWith/TryLockWith/UnlockWith.
 func (s *Service) InitLockWith(a locks.Algorithm, key uint64) {
-	if a != algoGLK && !a.Valid() {
+	if !a.Valid() {
 		panic(fmt.Sprintf("gls: InitLockWith(%v): unknown algorithm", a))
 	}
+	s.initLockWith(a, key)
+}
+
+// initLockWith is the shared pre-creation path; a is algoGLK or an
+// already-validated explicit algorithm.
+func (s *Service) initLockWith(a locks.Algorithm, key uint64) {
 	e, _ := s.entryFor(key, a)
 	if s.dbg != nil {
 		s.dbg.markInitialized(e.key)

@@ -85,10 +85,14 @@ func (l *LockSnapshot) TransitionCount() uint64 {
 	return n
 }
 
-// RetiredSnapshot aggregates the locks unregistered (freed) before this
-// snapshot, so totals remain monotonic across Free.
+// RetiredSnapshot aggregates the locks unregistered before this snapshot —
+// freed by the service, or folded by the idle-eviction policy
+// (Options.MaxLocks) — so totals remain monotonic across both.
 type RetiredSnapshot struct {
-	Locks        uint64 `json:"locks"`
+	Locks uint64 `json:"locks"`
+	// Evicted counts the subset of Locks folded because they went idle
+	// rather than because they were freed.
+	Evicted uint64 `json:"evicted,omitempty"`
 	Arrivals     uint64 `json:"arrivals"`
 	Acquisitions uint64 `json:"acquisitions"`
 	Contended    uint64 `json:"contended"`
@@ -136,6 +140,7 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 		Locks:        make([]LockSnapshot, 0, len(s.Locks)),
 		Retired: RetiredSnapshot{
 			Locks:        s.Retired.Locks - prev.Retired.Locks,
+			Evicted:      s.Retired.Evicted - prev.Retired.Evicted,
 			Arrivals:     s.Retired.Arrivals - prev.Retired.Arrivals,
 			Acquisitions: s.Retired.Acquisitions - prev.Retired.Acquisitions,
 			Contended:    s.Retired.Contended - prev.Retired.Contended,
@@ -236,8 +241,8 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		return err
 	}
 	if s.Retired.Locks > 0 {
-		if _, err := fmt.Fprintf(w, "[glstat] retired: %d freed locks, %d acquisitions (%d contended), %d transitions\n",
-			s.Retired.Locks, s.Retired.Acquisitions, s.Retired.Contended, s.Retired.Transitions); err != nil {
+		if _, err := fmt.Fprintf(w, "[glstat] retired: %d locks (%d idle-evicted), %d acquisitions (%d contended), %d transitions\n",
+			s.Retired.Locks, s.Retired.Evicted, s.Retired.Acquisitions, s.Retired.Contended, s.Retired.Transitions); err != nil {
 			return err
 		}
 	}

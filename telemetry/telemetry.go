@@ -36,6 +36,7 @@ package telemetry
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -56,14 +57,13 @@ const (
 	slotPresent           // goroutines currently at the lock (in/holding)
 )
 
-// slotPresent duplicates, for instrumented GLK locks, a count glk's own
-// presence stripes already track. That costs two extra atomic adds per
-// operation — both landing on the lane line Arrive/Release touch anyway —
-// and buys a live "goroutines at this lock right now" field in every
-// snapshot plus one hook protocol shared by GLK and wrapped locks. If the
-// enabled path ever needs those adds back, the alternative is letting the
-// lock supply its own queue reading to Acquired and skipping presence for
-// self-reporting locks.
+// slotPresent is only maintained for locks that cannot report their own
+// presence (the Instrument-wrapped Table-1 algorithms). A lock that already
+// counts the goroutines at itself — GLK's presence counter — registers a
+// PresenceSampler instead, and Arrive/Failed/Release skip the slot
+// entirely: the duplicate pair of same-line atomic adds per operation that
+// an earlier revision paid for a live "present" field now costs one
+// predicted branch, and snapshots read the lock's own counter.
 
 // DefaultSamplePeriod is how often (in per-lane arrivals) an acquisition is
 // timed: its wait latency, hold latency, and the queue length behind the
@@ -80,6 +80,18 @@ type Options struct {
 	// counter. 0 selects DefaultSamplePeriod; 1 times every acquisition
 	// (profiling fidelity — this is what Options.Profile uses).
 	SamplePeriod uint64
+
+	// MaxLocks soft-caps the number of live per-lock stats (0 = unlimited).
+	// A very-high-cardinality key space would otherwise hold one LockStats
+	// (several cache lines) per live key forever; with a cap, a Register
+	// that grows the registry past it folds *idle* stats — locks whose
+	// arrival count has not moved since the previous scan — into the
+	// Retired totals, exactly as Unregister does. An evicted lock keeps
+	// working (its hooks feed the now-orphaned stats object); it just stops
+	// appearing in snapshots, and its post-eviction activity goes
+	// uncounted. The cap is soft: if every lock is active, nothing is
+	// evicted and the registry grows anyway.
+	MaxLocks int
 }
 
 // Registry is a process- or service-wide collection of per-lock statistics.
@@ -90,9 +102,15 @@ type Options struct {
 // mutex, but they run at lock creation/destruction, never per operation.
 type Registry struct {
 	sampleMask uint64
+	maxLocks   int
 
 	mu    sync.RWMutex
 	locks map[uint64]*LockStats
+
+	// sweepAt defers the next automatic idle-fold until the registry has
+	// grown past it, so a Register storm over a cap full of *active* locks
+	// does not rescan the whole map per insertion (see Register).
+	sweepAt int
 
 	// gen stamps each registration with a unique incarnation id, so Diff
 	// can tell a key that was freed and re-created apart from the same
@@ -110,6 +128,7 @@ type Registry struct {
 
 type retiredTotals struct {
 	locks       uint64
+	evicted     uint64 // subset of locks folded by the idle policy, not Free
 	counters    [stripe.LaneSlots]uint64
 	transitions uint64
 }
@@ -127,7 +146,7 @@ func New(opts Options) *Registry {
 	for mask < p && mask < 1<<63 {
 		mask <<= 1
 	}
-	return &Registry{sampleMask: mask - 1, locks: make(map[uint64]*LockStats)}
+	return &Registry{sampleMask: mask - 1, maxLocks: opts.MaxLocks, locks: make(map[uint64]*LockStats)}
 }
 
 var (
@@ -159,12 +178,82 @@ func (r *Registry) Register(key uint64, kind string) *LockStats {
 	}
 	r.gen++
 	st := &LockStats{statsHeader: statsHeader{key: key, kind: kind, gen: r.gen, sampleMask: r.sampleMask}}
+	// The sentinel guarantees one full sweep interval of grace: the first
+	// scan observes lastArrivals != arrivals and re-arms instead of folding,
+	// so a lock registered moments before a sweep cannot lose its stats
+	// before its first arrival lands.
+	st.lastArrivals = ^uint64(0)
 	if label, ok := r.pendingLabels[key]; ok {
 		st.label = label
 		delete(r.pendingLabels, key)
 	}
 	r.locks[key] = st
+	// High-cardinality guard: once past the cap, periodically fold idle
+	// stats into the retired totals. The sweep is O(live locks), so it is
+	// amortized by deferring the next one until the registry has grown by a
+	// fraction of the cap — if everything is active (nothing foldable), the
+	// cost stays one scan per maxLocks/8 registrations, not one per insert.
+	if r.maxLocks > 0 && len(r.locks) > r.maxLocks && len(r.locks) >= r.sweepAt {
+		r.foldIdleLocked(st)
+		step := r.maxLocks / 8
+		if step < 1 {
+			step = 1
+		}
+		r.sweepAt = len(r.locks) + step
+	}
 	return st
+}
+
+// foldLocked folds st's counters into the retired totals and removes it
+// from the live map. Caller holds r.mu.
+func (r *Registry) foldLocked(st *LockStats, evicted bool) {
+	delete(r.locks, st.key)
+	sums := st.lanes.SumAll()
+	r.retired.locks++
+	if evicted {
+		r.retired.evicted++
+	}
+	for i, v := range sums {
+		r.retired.counters[i] += v
+	}
+	st.cold.Lock()
+	for _, tr := range st.transitions {
+		r.retired.transitions += tr.Count
+	}
+	st.cold.Unlock()
+}
+
+// foldIdleLocked folds every lock that is idle — arrivals unchanged since
+// the previous scan and nobody currently at the lock — except keep, the
+// entry that triggered the sweep. Caller holds r.mu.
+func (r *Registry) foldIdleLocked(keep *LockStats) int {
+	folded := 0
+	for _, st := range r.locks {
+		if st == keep {
+			continue
+		}
+		arrivals := st.lanes.Sum(slotArrivals)
+		if arrivals != st.lastArrivals || st.presentNow() > 0 {
+			st.lastArrivals = arrivals // active: re-arm for the next scan
+			continue
+		}
+		r.foldLocked(st, true)
+		folded++
+	}
+	return folded
+}
+
+// FoldIdle immediately folds the stats of every idle lock (see
+// Options.MaxLocks) into the Retired totals, returning how many were
+// folded. A lock is idle when its arrival count has not moved since the
+// previous FoldIdle or automatic sweep and no goroutine is currently at it;
+// a freshly registered lock therefore survives at least one scan. Manual
+// entry point for operators and tests — the MaxLocks policy calls the same
+// scan automatically.
+func (r *Registry) FoldIdle() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.foldIdleLocked(nil)
 }
 
 // Unregister removes key's stats from the registry, folding its counters
@@ -177,17 +266,7 @@ func (r *Registry) Unregister(key uint64) {
 	if st == nil {
 		return
 	}
-	delete(r.locks, key)
-	sums := st.lanes.SumAll()
-	r.retired.locks++
-	for i, v := range sums {
-		r.retired.counters[i] += v
-	}
-	st.cold.Lock()
-	for _, tr := range st.transitions {
-		r.retired.transitions += tr.Count
-	}
-	st.cold.Unlock()
+	r.foldLocked(st, false)
 }
 
 // Get returns the registered stats for key, or nil.
@@ -237,13 +316,28 @@ type Transition struct {
 	Count  uint64 `json:"count"`
 }
 
-// statsHeader is the read-only part of a LockStats, padded so the hot lanes
-// that follow start on their own cache line.
+// PresenceSampler reports how many goroutines are currently at a lock
+// (arriving, waiting, or holding). Locks that maintain their own presence
+// count — GLK's lazily-striped counter — register one via
+// SetPresenceSampler so telemetry reads it instead of duplicating the
+// accounting in slotPresent.
+type PresenceSampler func() int64
+
+// statsHeader is the read-mostly part of a LockStats, padded so the hot
+// lanes that follow start on their own cache line. presence is written once
+// right after registration (lock construction) and read-only afterwards;
+// lastArrivals belongs to the registry's idle-fold scans and is guarded by
+// Registry.mu, not by this struct.
 type statsHeader struct {
 	key        uint64
 	gen        uint64 // registration incarnation (see Registry.gen)
 	sampleMask uint64
 	kind       string
+	presence   atomic.Pointer[PresenceSampler]
+
+	// lastArrivals is the arrival count at the previous idle-fold scan
+	// (guarded by Registry.mu; see Registry.FoldIdle).
+	lastArrivals uint64
 }
 
 // LockStats accumulates the telemetry of one lock. Instances come from
@@ -279,6 +373,26 @@ type LockStats struct {
 // Key returns the lock key this stats block was registered under.
 func (s *LockStats) Key() uint64 { return s.key }
 
+// SetPresenceSampler hands the stats a reader for the lock's own presence
+// count. Call it at lock construction, before the lock is used: from then
+// on Arrive/Failed/Release skip the slotPresent accounting (the lock is
+// already counting) and snapshots and queue samples read the sampler.
+func (s *LockStats) SetPresenceSampler(f PresenceSampler) {
+	s.presence.Store(&f)
+}
+
+// selfCounting reports whether the lock supplies its own presence count.
+func (s *LockStats) selfCounting() bool { return s.presence.Load() != nil }
+
+// presentNow reads the current presence: the lock's own counter when it
+// reports one, the slotPresent lanes otherwise.
+func (s *LockStats) presentNow() int64 {
+	if p := s.presence.Load(); p != nil {
+		return (*p)()
+	}
+	return int64(s.lanes.Sum(slotPresent))
+}
+
 // Acq is the per-acquisition context carried from Arrive to
 // Acquired/Failed. It lives on the acquirer's stack; zero allocation.
 type Acq struct {
@@ -296,7 +410,9 @@ type Acq struct {
 // becomes a timed acquisition.
 func (s *LockStats) Arrive(tok uint64) Acq {
 	n := s.lanes.AddGet(tok, slotArrivals, 1)
-	s.lanes.Add(tok, slotPresent, 1)
+	if !s.selfCounting() {
+		s.lanes.Add(tok, slotPresent, 1)
+	}
 	a := Acq{st: s, tok: tok}
 	if n&s.sampleMask == 0 {
 		a.timed = true
@@ -323,7 +439,7 @@ func (a Acq) Acquired(contended bool) {
 	now := time.Now()
 	s.lanes.Add(a.tok, slotSamples, 1)
 	s.lanes.Add(a.tok, slotWaitNanos, uint64(now.Sub(a.start)))
-	q := int64(s.lanes.Sum(slotPresent))
+	q := s.presentNow()
 	if q < 1 {
 		q = 1 // racing decrements can transiently hide even the holder
 	}
@@ -335,7 +451,9 @@ func (a Acq) Acquired(contended bool) {
 // recorded by Arrive.
 func (a Acq) Failed() {
 	a.st.lanes.Add(a.tok, slotTryFails, 1)
-	a.st.lanes.Add(a.tok, slotPresent, ^uint64(0))
+	if !a.st.selfCounting() {
+		a.st.lanes.Add(a.tok, slotPresent, ^uint64(0))
+	}
 }
 
 // Release records the holder leaving: the hold latency if this acquisition
@@ -346,7 +464,9 @@ func (s *LockStats) Release(tok uint64) {
 		s.lanes.Add(tok, slotHoldNanos, uint64(time.Since(s.holdStart)))
 		s.holdStart = time.Time{}
 	}
-	s.lanes.Add(tok, slotPresent, ^uint64(0))
+	if !s.selfCounting() {
+		s.lanes.Add(tok, slotPresent, ^uint64(0))
+	}
 }
 
 // Transition records a mode change (GLK's holder calls this after flipping
@@ -377,7 +497,7 @@ func (s *LockStats) SetMode(mode string) {
 // snapshot copies the stats into a LockSnapshot.
 func (s *LockStats) snapshot() LockSnapshot {
 	sums := s.lanes.SumAll()
-	present := int64(sums[slotPresent])
+	present := s.presentNow()
 	if present < 0 {
 		present = 0
 	}
@@ -430,6 +550,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		Locks:        make([]LockSnapshot, 0, len(stats)),
 		Retired: RetiredSnapshot{
 			Locks:        retired.locks,
+			Evicted:      retired.evicted,
 			Arrivals:     retired.counters[slotArrivals],
 			Contended:    retired.counters[slotContended],
 			TryFails:     retired.counters[slotTryFails],

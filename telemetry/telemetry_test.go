@@ -215,6 +215,119 @@ func TestUnregisterFoldsIntoRetired(t *testing.T) {
 	}
 }
 
+// TestSelfCountingLockSkipsPresenceSlot pins the ISSUE-3 acceptance bar:
+// a lock that registers a PresenceSampler (GLK) must cause zero slotPresent
+// lane adds per operation — presence comes from the sampler in snapshots
+// and queue samples alike.
+func TestSelfCountingLockSkipsPresenceSlot(t *testing.T) {
+	r := New(Options{SamplePeriod: 1})
+	st := r.Register(8, "glk")
+	var present int64 = 3
+	st.SetPresenceSampler(func() int64 { return present })
+	tok := stripe.Self()
+	for i := 0; i < 4; i++ {
+		a := st.Arrive(tok)
+		a.Acquired(false)
+		st.Release(tok)
+	}
+	f := st.Arrive(tok)
+	f.Failed()
+	if got := st.lanes.Sum(slotPresent); got != 0 {
+		t.Fatalf("slotPresent lanes = %d, want 0 (duplicate presence adds)", got)
+	}
+	l := r.Snapshot().Lock(8)
+	if l.Present != 3 {
+		t.Fatalf("Present = %d, want 3 (from the sampler)", l.Present)
+	}
+	if q := l.AvgQueue(); q < 2.99 || q > 3.01 {
+		t.Fatalf("AvgQueue = %.2f, want 3 (queue samples read the sampler)", q)
+	}
+	present = -1 // a racy reading below zero must clamp in snapshots
+	if got := r.Snapshot().Lock(8).Present; got != 0 {
+		t.Fatalf("negative sampler reading surfaced as Present = %d", got)
+	}
+}
+
+// TestFoldIdleEviction exercises the high-cardinality retention policy:
+// idle stats fold into the retired totals (flagged as evicted), active ones
+// and freshly registered ones survive.
+func TestFoldIdleEviction(t *testing.T) {
+	r := New(Options{SamplePeriod: 1, MaxLocks: 100})
+	tok := stripe.Self()
+	stats := make([]*LockStats, 10)
+	for i := range stats {
+		stats[i] = r.Register(uint64(i+1), "glk")
+		a := stats[i].Arrive(tok)
+		a.Acquired(false)
+		stats[i].Release(tok)
+	}
+	// First scan only arms the idle detector (every lock carries the fresh-
+	// registration sentinel).
+	if n := r.FoldIdle(); n != 0 {
+		t.Fatalf("first FoldIdle folded %d locks, want 0 (grace scan)", n)
+	}
+	// Activity on two locks; everything else stays idle.
+	for _, i := range []int{0, 1} {
+		a := stats[i].Arrive(tok)
+		a.Acquired(false)
+		stats[i].Release(tok)
+	}
+	if n := r.FoldIdle(); n != 8 {
+		t.Fatalf("second FoldIdle folded %d locks, want 8", n)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after fold, want 2", r.Len())
+	}
+	snap := r.Snapshot()
+	if snap.Retired.Locks != 8 || snap.Retired.Evicted != 8 {
+		t.Fatalf("Retired: %+v, want 8 locks / 8 evicted", snap.Retired)
+	}
+	if snap.Retired.Acquisitions != 8 {
+		t.Fatalf("Retired.Acquisitions = %d, want 8 (one per evicted lock)", snap.Retired.Acquisitions)
+	}
+	// A lock with a goroutine present never folds, idle arrivals or not.
+	a := stats[0].Arrive(tok)
+	a.Acquired(false) // held: presence 1
+	r.FoldIdle()      // arm
+	if n := r.FoldIdle(); n != 0 {
+		t.Fatalf("FoldIdle folded %d, want 0 (one lock held, one just-active)", n)
+	}
+	stats[0].Release(tok)
+}
+
+// TestMaxLocksAutoSweep: crossing the cap triggers the idle fold from
+// Register itself, no manual FoldIdle needed.
+func TestMaxLocksAutoSweep(t *testing.T) {
+	r := New(Options{SamplePeriod: 1, MaxLocks: 4})
+	tok := stripe.Self()
+	for i := 0; i < 16; i++ {
+		st := r.Register(uint64(i+1), "glk")
+		a := st.Arrive(tok)
+		a.Acquired(false)
+		st.Release(tok)
+	}
+	// Every registration past the cap swept; each lock is idle after its
+	// burst, so the registry stays near the cap instead of growing to 16.
+	if n := r.Len(); n > 8 {
+		t.Fatalf("Len = %d, want <= 8 (cap 4 plus sweep hysteresis)", n)
+	}
+	snap := r.Snapshot()
+	if snap.Retired.Evicted == 0 {
+		t.Fatal("auto-sweep evicted nothing")
+	}
+	if got := snap.Retired.Acquisitions + totalAcquisitions(snap); got != 16 {
+		t.Fatalf("live+retired acquisitions = %d, want 16 (eviction lost counts)", got)
+	}
+}
+
+func totalAcquisitions(s *Snapshot) uint64 {
+	var n uint64
+	for i := range s.Locks {
+		n += s.Locks[i].Acquisitions
+	}
+	return n
+}
+
 func TestSetLabel(t *testing.T) {
 	r := New(Options{})
 	r.Register(11, "glk")
