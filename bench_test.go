@@ -722,6 +722,42 @@ func BenchmarkHotPathUncontended(b *testing.B) {
 	})
 }
 
+// BenchmarkHotPathRWRead — single-goroutine RLock/RUnlock latency through
+// each glsrw entry point, the read-side row of the uncontended family: the
+// RW surface must stay in the same cost class as the exclusive one.
+func BenchmarkHotPathRWRead(b *testing.B) {
+	b.Run("glkrw", func(b *testing.B) {
+		l := glk.NewRW(nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.RLock()
+			l.RUnlock()
+		}
+	})
+	b.Run("gls", func(b *testing.B) {
+		svc := gls.New(gls.Options{})
+		defer svc.Close()
+		svc.InitRWLock(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.RLock(1)
+			svc.RUnlock(1)
+		}
+	})
+	b.Run("handle", func(b *testing.B) {
+		svc := gls.New(gls.Options{})
+		defer svc.Close()
+		h := svc.NewHandle()
+		h.RLock(1)
+		h.RUnlock(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.RLock(1)
+			h.RUnlock(1)
+		}
+	})
+}
+
 // BenchmarkTable1_Interface — the cost of each Table-1 entry point.
 func BenchmarkTable1_Interface(b *testing.B) {
 	mon := benchMonitor(b)

@@ -107,6 +107,10 @@ func main() {
 		"run the glstat telemetry demo: two workload phases, then the contention report and interval diff")
 	cardinality := flag.Bool("cardinality", false,
 		"run the high-cardinality footprint scenario: ~1M keys, zipf access, bytes/lock and ns/op")
+	rw := flag.String("rw", "",
+		"run the glsrw read-ratio sweep and write the JSON report to this file (\"-\" for stdout)")
+	contention := flag.Bool("contention", false,
+		"with -fig 13/14/15: attach a telemetry registry to every lock configuration and print per-role contention after each cell")
 	quick := flag.Bool("quick", false, "short runs for smoke testing")
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per point")
 	reps := flag.Int("reps", 3, "repetitions per point (median reported; paper uses 11)")
@@ -130,23 +134,30 @@ func main() {
 			figs[k] = true
 		}
 	}
-	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality {
-		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -stat | -cardinality  (figures: %s)\n", knownFigures())
+	reportContention = *contention
+	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality && *rw == "" {
+		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -rw FILE | -stat | -cardinality  (figures: %s)\n", knownFigures())
 		os.Exit(2)
 	}
-	if (*stat || *cardinality) && *hotpath == "-" {
-		// -hotpath - reserves stdout for the JSON report; the stat and
-		// cardinality text reports would interleave with it. Run them
-		// separately.
-		fmt.Fprintln(os.Stderr, "glsbench: -stat/-cardinality cannot be combined with -hotpath - (stdout carries the JSON report)")
+	jsonSinks := 0
+	for _, path := range []string{*hotpath, *rw} {
+		if path == "-" {
+			jsonSinks++
+		}
+	}
+	if jsonSinks > 1 || (jsonSinks == 1 && (*stat || *cardinality)) {
+		// A "-" sink reserves stdout for one JSON report; the stat and
+		// cardinality text reports (or a second JSON report) would
+		// interleave with it. Run them separately.
+		fmt.Fprintln(os.Stderr, "glsbench: only one of -hotpath -/-rw - may own stdout, and not combined with -stat/-cardinality")
 		os.Exit(2)
 	}
 
-	// With -hotpath -, stdout is reserved for the JSON report: banners,
+	// With a "-" JSON sink, stdout is reserved for the report: banners,
 	// headers, and the per-point table all move to stderr so the output
 	// pipes cleanly into jq and friends.
 	progress := io.Writer(os.Stdout)
-	if *hotpath == "-" {
+	if jsonSinks == 1 {
 		progress = os.Stderr
 	}
 	cycles.Calibrate()
@@ -157,6 +168,15 @@ func main() {
 		fmt.Fprintf(progress, "== Hot path: single hot lock, arrival/release line-bounce family ==\n")
 		if err := runHotpath(*hotpath, progress, o); err != nil {
 			fmt.Fprintf(os.Stderr, "glsbench: -hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(progress)
+	}
+
+	if *rw != "" {
+		fmt.Fprintf(progress, "== glsrw: read-ratio sweep, striped vs single-counter readers ==\n")
+		if err := runRW(*rw, progress, o); err != nil {
+			fmt.Fprintf(os.Stderr, "glsbench: -rw: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(progress)

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/locks"
+)
+
+// The glsrw family measures the read side the way -hotpath measures the
+// exclusive side: one hot reader-writer lock, a read-ratio sweep crossed
+// with a goroutine sweep, every implementation in the family plus
+// sync.RWMutex as the runtime's reference point. The JSON it emits
+// (BENCH_glsrw.json) is the read-path perf trajectory; EXPERIMENTS.md has
+// the protocol.
+
+// rwResult is one measured point.
+type rwResult struct {
+	Impl       string  `json:"impl"`
+	ReadPct    int     `json:"read_pct"`
+	Goroutines int     `json:"goroutines"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// rwReport is the file-level JSON schema.
+type rwReport struct {
+	GeneratedBy string     `json:"generated_by"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	DurationMS  int64      `json:"duration_ms_per_point"`
+	Reps        int        `json:"reps"`
+	Results     []rwResult `json:"results"`
+}
+
+// rwLockish is the measurement contract; sync.RWMutex satisfies it too.
+type rwLockish interface {
+	Lock()
+	Unlock()
+	RLock()
+	RUnlock()
+}
+
+// rwImpls builds the competitors, fresh per point (adaptive locks carry
+// state). The gls entry routes every operation through a Service, so the
+// middleware's table lookup is part of its measurement, like -hotpath's
+// gls rows.
+func rwImpls() []struct {
+	name string
+	mk   func() (rwLockish, func())
+} {
+	return []struct {
+		name string
+		mk   func() (rwLockish, func())
+	}{
+		{"rwttas", func() (rwLockish, func()) { return locks.NewRWTTAS(), func() {} }},
+		{"rwstriped", func() (rwLockish, func()) { return locks.NewRWStriped(), func() {} }},
+		{"rwwritepref", func() (rwLockish, func()) { return locks.NewRWWritePref(), func() {} }},
+		{"glkrw", func() (rwLockish, func()) { return glk.NewRW(nil), func() {} }},
+		{"gls", func() (rwLockish, func()) {
+			svc := gls.New(gls.Options{})
+			const hotKey = 1
+			svc.InitRWLock(hotKey)
+			return glsRWAdapter{svc: svc, key: hotKey}, svc.Close
+		}},
+		{"sync.RWMutex", func() (rwLockish, func()) { return new(sync.RWMutex), func() {} }},
+	}
+}
+
+// glsRWAdapter measures the service surface (RLock/RUnlock/Lock/Unlock by
+// key).
+type glsRWAdapter struct {
+	svc *gls.Service
+	key uint64
+}
+
+func (g glsRWAdapter) Lock()    { g.svc.Lock(g.key) }
+func (g glsRWAdapter) Unlock()  { g.svc.Unlock(g.key) }
+func (g glsRWAdapter) RLock()   { g.svc.RLock(g.key) }
+func (g glsRWAdapter) RUnlock() { g.svc.RUnlock(g.key) }
+
+// rwMeasure runs the mixed workload from g goroutines for d and returns
+// ops/sec. Each goroutine interleaves reads and writes deterministically
+// at readPct reads per 100 operations, so every rep sees the same mix.
+func rwMeasure(g, readPct int, d time.Duration, l rwLockish) float64 {
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for t := 0; t < g; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			start.Wait()
+			local := int64(0)
+			i := id * 37 // de-phase the goroutines' write slots
+			for !stop.Load() {
+				for k := 0; k < 64; k++ {
+					if i%100 < readPct {
+						l.RLock()
+						l.RUnlock()
+					} else {
+						l.Lock()
+						l.Unlock()
+					}
+					i++
+				}
+				local += 64
+			}
+			ops.Add(local)
+		}(t)
+	}
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	return float64(ops.Load()) / elapsed.Seconds()
+}
+
+// rwReadRatios is the sweep axis the evaluation quotes: write-only,
+// mixed, and the read-mostly regime the striped lock exists for.
+var rwReadRatios = []int{0, 50, 90, 99, 100}
+
+// runRW measures the full family and writes the JSON report to path ("-"
+// for stdout), with the table on progress.
+func runRW(path string, progress io.Writer, o opts) error {
+	report := rwReport{
+		GeneratedBy: "glsbench -rw",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		DurationMS:  o.duration.Milliseconds(),
+		Reps:        o.reps,
+	}
+	for _, readPct := range rwReadRatios {
+		for _, g := range hotpathSweep() {
+			for _, impl := range rwImpls() {
+				samples := make([]float64, 0, o.reps)
+				for r := 0; r < o.reps; r++ {
+					l, cleanup := impl.mk()
+					samples = append(samples, rwMeasure(g, readPct, o.duration, l))
+					cleanup()
+				}
+				opsSec := median(samples)
+				res := rwResult{
+					Impl:       impl.name,
+					ReadPct:    readPct,
+					Goroutines: g,
+					NsPerOp:    1e9 / opsSec,
+					OpsPerSec:  opsSec,
+				}
+				report.Results = append(report.Results, res)
+				fmt.Fprintf(progress, "%-12s reads=%3d%% goroutines=%-3d %12.0f ops/s  %8.1f ns/op\n",
+					impl.name, readPct, g, res.OpsPerSec, res.NsPerOp)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -15,7 +16,40 @@ import (
 	"gls/internal/apps/minisql"
 	"gls/internal/sysmon"
 	"gls/locks"
+	"gls/telemetry"
 )
+
+// reportContention is the -contention flag: attach a registry to every
+// provider the systems figures build and print per-role contention after
+// each cell (ROADMAP telemetry follow-up — the five modelled systems feed
+// the registry through appsync's role labels).
+var reportContention bool
+
+// cellRegistry returns a fresh registry when -contention is on.
+func cellRegistry() *telemetry.Registry {
+	if !reportContention {
+		return nil
+	}
+	return telemetry.New(telemetry.Options{})
+}
+
+// printTopRoles prints the most contended roles of one finished cell.
+func printTopRoles(tag string, reg *telemetry.Registry, n int) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	if len(snap.Locks) == 0 {
+		return
+	}
+	if len(snap.Locks) > n {
+		snap.Locks = snap.Locks[:n] // already sorted most-contended first
+	}
+	fmt.Printf("  -- per-role contention: %s (top %d) --\n", tag, len(snap.Locks))
+	if err := snap.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "contention report: %v\n", err)
+	}
+}
 
 // memcachedThroughput runs one Memcached workload under one provider.
 func memcachedThroughput(p appsync.Provider, getRatio float64, d time.Duration, threads int) float64 {
@@ -52,17 +86,33 @@ func fig13(o opts) {
 	}
 	impls := []struct {
 		name string
-		mk   func() (appsync.Provider, func())
+		mk   func() (appsync.Provider, *telemetry.Registry, func())
 	}{
-		{"MUTEX", func() (appsync.Provider, func()) { return appsync.NewRaw(locks.Mutex), func() {} }},
-		{"GLK", func() (appsync.Provider, func()) { return appsync.NewGLK(glkCfg), func() {} }},
-		{"GLS", func() (appsync.Provider, func()) {
-			svc := gls.New(gls.Options{GLK: glkCfg})
-			return appsync.NewGLS(svc, nil), svc.Close
+		{"MUTEX", func() (appsync.Provider, *telemetry.Registry, func()) {
+			reg := cellRegistry()
+			p := appsync.NewRaw(locks.Mutex)
+			if reg != nil {
+				p.WithTelemetry(reg)
+			}
+			return p, reg, func() {}
 		}},
-		{"GLS SPECIALIZED", func() (appsync.Provider, func()) {
-			svc := gls.New(gls.Options{GLK: glkCfg})
-			return appsync.NewGLS(svc, memcachedSpecialize), svc.Close
+		{"GLK", func() (appsync.Provider, *telemetry.Registry, func()) {
+			reg := cellRegistry()
+			p := appsync.NewGLK(glkCfg)
+			if reg != nil {
+				p.WithTelemetry(reg)
+			}
+			return p, reg, func() {}
+		}},
+		{"GLS", func() (appsync.Provider, *telemetry.Registry, func()) {
+			reg := cellRegistry()
+			svc := gls.New(gls.Options{GLK: glkCfg, Telemetry: reg})
+			return appsync.NewGLS(svc, nil), reg, svc.Close
+		}},
+		{"GLS SPECIALIZED", func() (appsync.Provider, *telemetry.Registry, func()) {
+			reg := cellRegistry()
+			svc := gls.New(gls.Options{GLK: glkCfg, Telemetry: reg})
+			return appsync.NewGLS(svc, memcachedSpecialize), reg, svc.Close
 		}},
 	}
 
@@ -75,10 +125,11 @@ func fig13(o opts) {
 		thr := make([]float64, len(impls))
 		for i, im := range impls {
 			mon.AddHint(threads)
-			p, done := im.mk()
+			p, reg, done := im.mk()
 			thr[i] = memcachedThroughput(p, w.getRatio, o.duration, threads)
 			done()
 			mon.AddHint(-threads)
+			printTopRoles(fmt.Sprintf("Memcached %s / %s", w.name, im.name), reg, 5)
 		}
 		fmt.Printf("%-10s", w.name)
 		for i := range impls {
@@ -89,17 +140,29 @@ func fig13(o opts) {
 	fmt.Println("# paper (Ivy): GLK 1.00-1.07, GLS ~7% below GLK, GLS SPECIALIZED matches GLK (avg 1.14 vs MUTEX)")
 }
 
-// systemProvider builds one provider per lock configuration.
-func systemProvider(name string, glkCfg *glk.Config) appsync.Provider {
+// systemProvider builds one provider per lock configuration, attached to
+// reg when -contention asked for one.
+func systemProvider(name string, glkCfg *glk.Config, reg *telemetry.Registry) appsync.Provider {
+	mkRaw := func(a locks.Algorithm) appsync.Provider {
+		p := appsync.NewRaw(a)
+		if reg != nil {
+			p.WithTelemetry(reg)
+		}
+		return p
+	}
 	switch name {
 	case "MUTEX":
-		return appsync.NewRaw(locks.Mutex)
+		return mkRaw(locks.Mutex)
 	case "TICKET":
-		return appsync.NewRaw(locks.Ticket)
+		return mkRaw(locks.Ticket)
 	case "MCS":
-		return appsync.NewRaw(locks.MCS)
+		return mkRaw(locks.MCS)
 	default:
-		return appsync.NewGLK(glkCfg)
+		p := appsync.NewGLK(glkCfg)
+		if reg != nil {
+			p.WithTelemetry(reg)
+		}
+		return p
 	}
 }
 
@@ -203,8 +266,10 @@ func runSystemsFigure(o opts) {
 		for i, ln := range lockNames {
 			mon := benchMonitor()
 			glkCfg := &glk.Config{Monitor: mon}
-			thr[i] = c.run(systemProvider(ln, glkCfg), mon)
+			reg := cellRegistry()
+			thr[i] = c.run(systemProvider(ln, glkCfg, reg), mon)
 			mon.Stop()
+			printTopRoles(fmt.Sprintf("%s %s / %s", c.system, c.config, ln), reg, 5)
 		}
 		fmt.Printf("%-12s %-10s", c.system, c.config)
 		for i := range lockNames {

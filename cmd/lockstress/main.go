@@ -51,6 +51,7 @@ type scenario struct {
 var scenarios = map[string]scenario{
 	"oversubscription": {custom: runOversubscription},
 	"churn":            {custom: runChurn},
+	"writerstarvation": {custom: runWriterStarvation},
 	"uninitialized": {kind: gls.IssueUninitializedLock, plant: func(s *gls.Service) {
 		s.Lock(0x6344e0) // never InitLock'ed; StrictInit flags it
 		s.Unlock(0x6344e0)
@@ -195,6 +196,85 @@ func runOversubscription() (string, bool) {
 	return what, toMutex(hot) && hot.Contended > 0
 }
 
+// runWriterStarvation floods one glsrw key with readers and asserts two
+// things through the telemetry registry: the writer still makes progress
+// (the striped lock's back-out protocol and the write-preferring variant
+// both exist to guarantee this; the scenario runs the adaptive default),
+// and the price the writer pays is *visible* — the read/write split and
+// the writer-blocked-by-readers drain time appear in the report.
+func runWriterStarvation() (string, bool) {
+	const what = "writer progress and drain-time visibility under a reader flood"
+	const hotKey = 0x77001
+	const writerQuota = 200
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	svc := gls.New(gls.Options{
+		Telemetry: reg,
+		GLK:       &glk.Config{Monitor: sysmon.New(sysmon.Options{DisableProbes: true})},
+	})
+	defer svc.Close()
+	svc.InitRWLock(hotKey)
+	reg.SetLabel(hotKey, "hot-rw")
+
+	readers := 4 * runtime.GOMAXPROCS(0)
+	if readers < 8 {
+		readers = 8
+	}
+	fmt.Printf("flooding one rw key with %d readers on %d procs; writer needs %d writes...\n",
+		readers, runtime.GOMAXPROCS(0), writerQuota)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				svc.RLock(hotKey)
+				// Yield while holding so read shares genuinely overlap (and
+				// overlap the writer's drain) even on GOMAXPROCS=1.
+				runtime.Gosched()
+				cycles.Wait(256)
+				svc.RUnlock(hotKey)
+			}
+		}()
+	}
+
+	writes := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for writes < writerQuota && time.Now().Before(deadline) {
+		svc.Lock(hotKey)
+		cycles.Wait(128)
+		svc.Unlock(hotKey)
+		writes++
+		runtime.Gosched() // let the flood refill between writes
+	}
+	close(stop)
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if err := snap.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		return what, false
+	}
+	hot := snap.Lock(hotKey)
+	if hot == nil {
+		return what, false
+	}
+	st, _ := svc.GLKRWStats(hotKey)
+	fmt.Printf("writer completed %d/%d; readers acquired %d (%.1f%% behind a writer); "+
+		"writer drain total %v; rw mode %v (%d transitions)\n",
+		writes, writerQuota, hot.RAcquisitions, 100*hot.RContentionRatio(),
+		time.Duration(hot.WDrainNanos), st.RWMode, st.Transitions)
+	return what, writes == writerQuota &&
+		hot.RAcquisitions > 0 &&
+		uint64(writes) <= hot.Acquisitions && // writer side counted in the exclusive lanes
+		hot.WDrainNanos > 0 // blocked-by-readers time is visible
+}
+
 // runChurn is the high-cardinality churn mode: a key space far larger than
 // the telemetry cap, workers locking through per-goroutine handles (stable
 // keys carry plain counters, so a stale handle cache breaking mutual
@@ -267,10 +347,10 @@ func runChurn() (string, bool) {
 
 func main() {
 	bug := flag.String("bug", "all",
-		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, all")
+		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, writerstarvation, all")
 	flag.Parse()
 
-	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn"}
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "writerstarvation"}
 	if *bug != "all" {
 		if _, ok := scenarios[*bug]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)

@@ -35,8 +35,17 @@ const (
 	IssueAlgorithmMismatch
 	// IssueFreeHeld: Free was called on a lock that is currently held.
 	IssueFreeHeld
+	// IssueUpgradeDeadlock: a goroutine tried to write-lock (or RLock) a
+	// key whose lock it already holds the other way — RLock→Lock is the
+	// classic rwlock upgrade deadlock (the write lock waits for all
+	// readers, including its own caller), and Lock→RLock self-blocks the
+	// same way.
+	IssueUpgradeDeadlock
+	// IssueRUnlockNotReader: RUnlock by a goroutine that holds no read
+	// share of the key (the read-side sibling of wrong-owner/already-free).
+	IssueRUnlockNotReader
 
-	issueKindCount = int(IssueFreeHeld) + 1
+	issueKindCount = int(IssueRUnlockNotReader) + 1
 )
 
 // String returns the warning label used in reports.
@@ -56,6 +65,10 @@ func (k IssueKind) String() string {
 		return "Algorithm mismatch"
 	case IssueFreeHeld:
 		return "Freeing held lock"
+	case IssueUpgradeDeadlock:
+		return "Upgrade deadlock"
+	case IssueRUnlockNotReader:
+		return "Not a reader"
 	default:
 		return fmt.Sprintf("IssueKind(%d)", int(k))
 	}
@@ -92,7 +105,7 @@ func (i Issue) String() string {
 	} else {
 		verb := "LOCK"
 		switch i.Kind {
-		case IssueUnlockFree, IssueUnlockWrongOwner:
+		case IssueUnlockFree, IssueUnlockWrongOwner, IssueRUnlockNotReader:
 			verb = "UNLOCK"
 		case IssueFreeHeld:
 			verb = "FREE"
@@ -131,6 +144,13 @@ type debugState struct {
 	mismatchReported map[uint64]bool
 	reportedCycles   map[string]bool
 
+	// readers tracks the current read-share holders per key (share count
+	// per goroutine — RLock is not reentrant, but a buggy program's double
+	// RLock must still balance two RUnlocks). It is the read-side owner
+	// bookkeeping: RUnlock validation, upgrade detection, and the
+	// multi-holder edges of the deadlock walk all read it.
+	readers map[uint64]map[gid.ID]int
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -141,6 +161,7 @@ func newDebugState() *debugState {
 		initialized:      make(map[uint64]bool),
 		mismatchReported: make(map[uint64]bool),
 		reportedCycles:   make(map[string]bool),
+		readers:          make(map[uint64]map[gid.ID]int),
 		stop:             make(chan struct{}),
 		done:             make(chan struct{}),
 	}
@@ -186,7 +207,46 @@ func (d *debugState) forget(key uint64) {
 	d.mu.Lock()
 	delete(d.initialized, key)
 	delete(d.mismatchReported, key)
+	delete(d.readers, key)
 	d.mu.Unlock()
+}
+
+// addReader records g as holding a read share of key.
+func (d *debugState) addReader(key uint64, g gid.ID) {
+	d.mu.Lock()
+	m := d.readers[key]
+	if m == nil {
+		m = make(map[gid.ID]int)
+		d.readers[key] = m
+	}
+	m[g]++
+	d.mu.Unlock()
+}
+
+// dropReader removes one of g's read shares of key, reporting whether g
+// held one.
+func (d *debugState) dropReader(key uint64, g gid.ID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := d.readers[key]
+	if m == nil || m[g] == 0 {
+		return false
+	}
+	m[g]--
+	if m[g] == 0 {
+		delete(m, g)
+		if len(m) == 0 {
+			delete(d.readers, key)
+		}
+	}
+	return true
+}
+
+// holdsReadShare reports whether g currently holds a read share of key.
+func (d *debugState) holdsReadShare(key uint64, g gid.ID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readers[key][g] > 0
 }
 
 // setWaiting records that g is blocked on key, with the blocking call site.
@@ -293,6 +353,18 @@ func (s *Service) debugPreLock(me gid.ID, e *entry, created bool, requested lock
 			Stack:     captureStack(4),
 		})
 	}
+	if e.rw != nil && s.dbg.holdsReadShare(e.key, me) {
+		// RLock→Lock on one key: the write acquisition drains all readers,
+		// this caller included — it waits for itself (§4.2's deadlock
+		// family, caught before it blocks rather than by the watchdog).
+		s.report(Issue{
+			Kind:      IssueUpgradeDeadlock,
+			Key:       e.key,
+			Goroutine: uint64(me),
+			Message:   "write lock requested while holding a read share (RLock→Lock upgrade deadlocks)",
+			Stack:     captureStack(4),
+		})
+	}
 }
 
 // debugLock acquires e's lock with owner/waiting bookkeeping. Profile and
@@ -364,6 +436,113 @@ func (s *Service) debugUnlock(key uint64, e *entry) {
 	e.lock.Unlock()
 }
 
+// debugPreRLock runs the read-acquisition checks: StrictInit, RW-algorithm
+// mismatch, and the Lock→RLock half of the upgrade deadlock (the write
+// holder read-locking its own key blocks on its own writer flag).
+func (s *Service) debugPreRLock(me gid.ID, e *entry, created bool, requested locks.RWAlgorithm) {
+	if created && s.opts.StrictInit && !s.dbg.isInitialized(e.key) {
+		s.report(Issue{
+			Kind:      IssueUninitializedLock,
+			Key:       e.key,
+			Goroutine: uint64(me),
+			Message:   "rlock of a key never initialized (StrictInit)",
+			Stack:     captureStack(5),
+		})
+	}
+	if !created && e.rwalgo != requested {
+		s.dbg.mu.Lock()
+		dup := s.dbg.mismatchReported[e.key]
+		if !dup {
+			s.dbg.mismatchReported[e.key] = true
+		}
+		s.dbg.mu.Unlock()
+		if !dup {
+			s.report(Issue{
+				Kind:      IssueAlgorithmMismatch,
+				Key:       e.key,
+				Goroutine: uint64(me),
+				Message: fmt.Sprintf("rlock requested as %s but key is mapped to %s",
+					rwAlgoName(requested), rwAlgoName(e.rwalgo)),
+				Stack: captureStack(5),
+			})
+		}
+	}
+	if gid.ID(e.owner.Load()) == me {
+		s.report(Issue{
+			Kind:      IssueUpgradeDeadlock,
+			Key:       e.key,
+			Goroutine: uint64(me),
+			Owner:     uint64(me),
+			Message:   "read share requested while holding the write lock (Lock→RLock self-blocks)",
+			Stack:     captureStack(5),
+		})
+	}
+}
+
+// debugRLock acquires a read share with waiting/reader bookkeeping. Like
+// debugLock, only the contended path pays the wait-record cost.
+func (s *Service) debugRLock(e *entry, created bool, requested locks.RWAlgorithm) {
+	me := gid.Get()
+	s.debugPreRLock(me, e, created, requested)
+	if !e.rw.TryRLock() {
+		s.dbg.setWaiting(me, e.key)
+		e.rw.RLock()
+		s.dbg.clearWaiting(me)
+	}
+	s.dbg.addReader(e.key, me)
+}
+
+// debugTryRLock try-acquires a read share with reader bookkeeping.
+func (s *Service) debugTryRLock(e *entry, created bool, requested locks.RWAlgorithm) bool {
+	me := gid.Get()
+	s.debugPreRLock(me, e, created, requested)
+	if !e.rw.TryRLock() {
+		return false
+	}
+	s.dbg.addReader(e.key, me)
+	return true
+}
+
+// debugRUnlock releases a read share after the release checks. Faulty
+// releases are reported and not forwarded, mirroring debugUnlock: an
+// RUnlock from a non-reader would corrupt the reader count under every
+// implementation in the family.
+func (s *Service) debugRUnlock(key uint64, e *entry) {
+	me := gid.Get()
+	if e == nil {
+		s.report(Issue{
+			Kind:      IssueUninitializedLock,
+			Key:       key,
+			Goroutine: uint64(me),
+			Message:   "runlock of a key that was never locked",
+			Stack:     captureStack(4),
+		})
+		return
+	}
+	if e.rw == nil {
+		s.report(Issue{
+			Kind:      IssueAlgorithmMismatch,
+			Key:       key,
+			Goroutine: uint64(me),
+			Message:   "runlock of a key mapped to an exclusive lock",
+			Stack:     captureStack(4),
+		})
+		return
+	}
+	if !s.dbg.dropReader(key, me) {
+		s.report(Issue{
+			Kind:      IssueRUnlockNotReader,
+			Key:       key,
+			Goroutine: uint64(me),
+			Owner:     e.owner.Load(),
+			Message:   "runlock by a goroutine that holds no read share",
+			Stack:     captureStack(4),
+		})
+		return
+	}
+	e.rw.RUnlock()
+}
+
 // CheckDeadlocks scans the wait-for graph once and reports every new cycle
 // among goroutines blocked longer than DeadlockWaitThreshold. It returns
 // the number of (previously unreported) deadlocks found. The background
@@ -411,38 +590,64 @@ func (s *Service) CheckDeadlocks() int {
 	return found
 }
 
-// walkCycleLocked follows owner→waits-for edges from goroutine start. It
+// walkCycleLocked follows holder→waits-for edges from goroutine start. It
 // returns the closed cycle ([start..., start]) or nil. Caller holds d.mu.
+//
+// An exclusive (or write-held) key has one holder, its owner; a read-held
+// key has every current read-share holder — a writer blocked on it waits
+// for all of them, so the walk is a DFS over holders rather than the
+// single-owner chain it was before glsrw. Each branch copies its edge
+// prefix (blocked-goroutine graphs are tiny; clarity beats clever sharing).
 func (s *Service) walkCycleLocked(start gid.ID, startKey uint64) []WaitEdge {
 	d := s.dbg
-	edges := []WaitEdge{{Goroutine: uint64(start), Key: startKey}}
 	seen := map[gid.ID]bool{start: true}
-	curKey := startKey
-	for {
-		e := s.table.Get(curKey)
-		if e == nil {
-			return nil
+	var dfs func(key uint64, edges []WaitEdge) []WaitEdge
+	dfs = func(key uint64, edges []WaitEdge) []WaitEdge {
+		for _, holder := range s.holdersLocked(key) {
+			if holder == start {
+				// Close the cycle with a repeat of the first edge, matching
+				// the paper's report format.
+				return append(append([]WaitEdge{}, edges...), edges[0])
+			}
+			if seen[holder] {
+				continue // a cycle not involving start; its members report it
+			}
+			rec := d.waiting[holder]
+			if rec == nil {
+				continue // holder is running, not waiting: no deadlock via this path
+			}
+			seen[holder] = true
+			branch := append(append([]WaitEdge{}, edges...),
+				WaitEdge{Goroutine: uint64(holder), Key: rec.key})
+			if cycle := dfs(rec.key, branch); cycle != nil {
+				return cycle
+			}
 		}
-		owner := gid.ID(e.owner.Load())
-		if owner == 0 {
-			return nil
-		}
-		if owner == start {
-			// Close the cycle with a repeat of the first edge, matching the
-			// paper's report format.
-			return append(edges, edges[0])
-		}
-		if seen[owner] {
-			return nil // a cycle not involving start; its members report it
-		}
-		rec := d.waiting[owner]
-		if rec == nil {
-			return nil // owner is running, not waiting: no deadlock via this path
-		}
-		edges = append(edges, WaitEdge{Goroutine: uint64(owner), Key: rec.key})
-		seen[owner] = true
-		curKey = rec.key
+		return nil
 	}
+	return dfs(startKey, []WaitEdge{{Goroutine: uint64(start), Key: startKey}})
+}
+
+// holdersLocked lists the goroutines currently holding key: the write
+// owner when one is recorded, else every read-share holder. Caller holds
+// d.mu.
+func (s *Service) holdersLocked(key uint64) []gid.ID {
+	e := s.table.Get(key)
+	if e == nil {
+		return nil
+	}
+	if owner := gid.ID(e.owner.Load()); owner != 0 {
+		return []gid.ID{owner}
+	}
+	rs := s.dbg.readers[key]
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]gid.ID, 0, len(rs))
+	for g := range rs {
+		out = append(out, g)
+	}
+	return out
 }
 
 // cycleSignature canonically names a cycle for dedup: sorted goroutine ids.

@@ -89,9 +89,19 @@ const (
 
 // inflateQueueLen is the sampled queue length (holder included) at which a
 // lock inflates its presence counter from the inline cell to the striped
-// spill: 2 means "someone besides the holder was at the lock". Inflation is
-// one-way and happens at most once per lock (see stripe.Counter).
+// spill: 2 means "someone besides the holder was at the lock".
 const inflateQueueLen = 2
+
+// deflateIdlePeriods is how many consecutive adaptation periods must
+// sample nothing but the holder (every queue sample ≤ 1) before the holder
+// folds an inflated presence counter back into its inline cell, returning
+// the stripe.SpillBytes of heap. Inflation was one-way before this
+// (ROADMAP footprint follow-up): harmless for correctness, but a table
+// whose contention storm has passed kept paying the storm's footprint
+// forever. Deflation only runs in ticket mode — a lock held in mcs or
+// mutex mode (including the frozen InitialMode baselines) expects
+// contention and keeps its stripes.
+const deflateIdlePeriods = 4
 
 // Config tunes a GLK lock. The zero value of every field selects the
 // default above. Configs are copied at lock construction; later mutation has
@@ -209,11 +219,11 @@ func (c Config) Validate() error {
 // inflation) the presence cell go quiet, so the line is read-mostly exactly
 // when other goroutines spin elsewhere.
 type lockShared struct {
-	lockType atomic.Uint32   // current Mode
+	lockType atomic.Uint32    // current Mode
 	ticket   locks.TicketCore // low-contention mode lock, always present
 	stats    *telemetry.LockStats
-	present  stripe.Counter // inline cell + spill pointer (see below)
-	mcs      atomic.Pointer[locks.MCSLock]  // published before mode becomes mcs
+	present  stripe.Counter                  // inline cell + spill pointer (see below)
+	mcs      atomic.Pointer[locks.MCSLock]   // published before mode becomes mcs
 	mutex    atomic.Pointer[locks.MutexLock] // published before mode becomes mutex
 }
 
@@ -248,7 +258,13 @@ type lockHolder struct {
 	sampleIn     uint32        // critical sections until the next queue sample
 	adaptIn      uint32        // samples until the next adaptation decision
 	acquiredMode Mode          // which low-level lock the current holder took
-	cfg          lockConfig
+	// The deflation bookkeeping is deliberately byte-sized: it shares the
+	// alignment hole before cfg, keeping the holder section at exactly two
+	// lines (TestLockFootprint).
+	idlePeriods uint8  // consecutive adaptation periods with max queue ≤ 1
+	periodMaxQ  uint8  // max sampled queue this period, clamped at 255
+	deflations  uint16 // presence-counter deflations, for observability
+	cfg         lockConfig
 }
 
 // Lock is a GLK adaptive lock (the paper's glk_t, Figure 3). It contains
@@ -564,12 +580,24 @@ func (l *Lock) queueLenLow(m Mode) int {
 // a predicted branch, cheap enough to keep running when adaptation is
 // disabled — frozen locks still sample, because sampling is also what
 // triggers presence-counter inflation.
+//
+//go:noinline
 func (l *Lock) tryAdapt(cur Mode) bool {
 	l.numAcquired++
 	l.sampleIn--
 	if l.sampleIn != 0 {
 		return false
 	}
+	return l.sampleAndAdapt(cur)
+}
+
+// sampleAndAdapt is the sampling-boundary slow path of tryAdapt: record a
+// queue sample, run the footprint housekeeping, and — on adaptation
+// boundaries — re-decide the mode. Splitting it out keeps tryAdapt's body
+// — the per-acquisition countdown — at its pre-glsrw size (the larger
+// boundary path grew this PR and was dragging acquisition-path I-cache
+// behaviour with it).
+func (l *Lock) sampleAndAdapt(cur Mode) bool {
 	l.sampleIn = l.cfg.samplePeriod
 
 	var q int
@@ -587,6 +615,13 @@ func (l *Lock) tryAdapt(cur Mode) bool {
 		// idempotent and almost always already done.
 		l.present.Inflate()
 	}
+	if q > int(l.periodMaxQ) {
+		qc := q
+		if qc > 255 {
+			qc = 255 // the deflation test is "≤ 1"; the clamp loses nothing
+		}
+		l.periodMaxQ = uint8(qc)
+	}
 	l.queueTotal += uint64(q)
 	l.queueEMA.Add(float64(q))
 
@@ -595,6 +630,28 @@ func (l *Lock) tryAdapt(cur Mode) bool {
 		return false
 	}
 	l.adaptIn = l.cfg.adaptSamples
+
+	// Footprint housekeeping, independent of the mode decision (it runs
+	// for frozen locks too, mirroring sampling): after deflateIdlePeriods
+	// fully-uncontended periods in ticket mode, fold the spill back into
+	// the inline cell. The holder performs the fold while holding, so it
+	// cannot race its own queue sampling; arriving goroutines divert
+	// sum-exactly (stripe.Counter.Deflate).
+	if cur == ModeTicket && l.periodMaxQ <= 1 {
+		if l.idlePeriods < deflateIdlePeriods {
+			l.idlePeriods++
+		}
+		if l.idlePeriods >= deflateIdlePeriods && l.present.Inflated() {
+			if l.present.Deflate() {
+				l.deflations++
+			}
+			l.idlePeriods = 0
+		}
+	} else {
+		l.idlePeriods = 0
+	}
+	l.periodMaxQ = 0
+
 	if l.cfg.disableAdaptation {
 		return false
 	}
@@ -664,6 +721,7 @@ type Stats struct {
 	QueueEMA    float64 // smoothed queue length
 	QueueTotal  uint64  // paper's queue_total counter
 	Transitions uint64
+	Deflations  uint64 // presence-counter spills folded back after idling
 }
 
 // Stats returns a racy snapshot of the lock's counters. Intended for
@@ -675,5 +733,6 @@ func (l *Lock) Stats() Stats {
 		QueueEMA:    l.queueEMA.Value(),
 		QueueTotal:  l.queueTotal,
 		Transitions: l.transitions.Load(),
+		Deflations:  uint64(l.deflations),
 	}
 }

@@ -103,6 +103,42 @@ func TestSharedLineContents(t *testing.T) {
 	}
 }
 
+// TestRWLockFootprint pins the adaptive RW lock's space budget (ISSUE 4):
+// an idle lock is exactly two cache lines — the shared arrival line and
+// the writer-only line — comfortably under the 4-line acceptance bar, with
+// each section starting on its own line so reader arrivals and writer
+// bookkeeping never share.
+func TestRWLockFootprint(t *testing.T) {
+	got := unsafe.Sizeof(RWLock{})
+	if want := uintptr(2 * pad.CacheLineSize); got != want {
+		t.Errorf("RWLock is %d bytes, want %d (2 cache lines)", got, want)
+	}
+	if got > 4*pad.CacheLineSize {
+		t.Errorf("RWLock is %d bytes, above the 4-line ISSUE budget", got)
+	}
+	if s := unsafe.Sizeof(rwShared{}); s > pad.CacheLineSize {
+		t.Errorf("rw shared section is %d bytes, spills past its single line", s)
+	}
+	if s := unsafe.Sizeof(rwHolder{}); s > pad.CacheLineSize {
+		t.Errorf("rw holder section is %d bytes, spills past its single line", s)
+	}
+	var l RWLock
+	if off := unsafe.Offsetof(l.rwHolder); off%pad.CacheLineSize != 0 || off == 0 {
+		t.Errorf("rw holder section at offset %d, want a later line boundary", off)
+	}
+	for name, off := range map[string]uintptr{
+		"readers": unsafe.Offsetof(l.readers),
+		"rwmode":  unsafe.Offsetof(l.rwmode),
+		"writer":  unsafe.Offsetof(l.writer),
+		"wmu":     unsafe.Offsetof(l.wmu),
+		"stats":   unsafe.Offsetof(l.stats),
+	} {
+		if off/pad.CacheLineSize != 0 {
+			t.Errorf("%s at offset %d left the shared line", name, off)
+		}
+	}
+}
+
 // TestPresenceCounterLazy pins the lazy-striping contract at the lock
 // level: a fresh lock is deflated, contention observed through sampling
 // inflates it, and an uncontended life never allocates the spill.

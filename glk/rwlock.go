@@ -1,0 +1,509 @@
+package glk
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"gls/internal/backoff"
+	"gls/internal/pad"
+	"gls/internal/stripe"
+	"gls/locks"
+	"gls/telemetry"
+)
+
+// RWMode identifies the read-side operating mode of an adaptive RW lock —
+// the reader-writer analogue of Mode. The write side has no modes: writers
+// are always a FIFO ticket mutex plus the drain sweep.
+type RWMode uint32
+
+// The two read-side modes.
+const (
+	// RWModeInline counts readers in a single inline cell: compact (the
+	// whole idle lock is two cache lines) and fine while readers are
+	// solitary, but concurrent readers bounce the cell's line.
+	RWModeInline RWMode = iota + 1
+	// RWModeStriped counts readers in per-stripe cells (stripe.Counter's
+	// inflated form): read acquisitions scale, writers sweep one extra line
+	// per stripe, and the lock carries stripe.SpillBytes of heap until the
+	// readers go quiet and a writer deflates it back.
+	RWModeStriped
+)
+
+// String returns the reporting name of the mode, in GLK's lower-case style.
+func (m RWMode) String() string {
+	switch m {
+	case RWModeInline:
+		return "rwinline"
+	case RWModeStriped:
+		return "rwstriped"
+	default:
+		return fmt.Sprintf("RWMode(%d)", uint32(m))
+	}
+}
+
+// Adaptation defaults for the RW lock. The write side samples far less
+// often than the exclusive lock (writes on a read-mostly lock are rare
+// events already).
+const (
+	// DefaultRWSamplePeriod is how often (in completed write sections) the
+	// writer re-examines the reader-mode decision.
+	DefaultRWSamplePeriod = 64
+	// DefaultRWDeflatePeriods is how many consecutive reader-free sampled
+	// write periods deflate the striped readers back to the inline cell.
+	DefaultRWDeflatePeriods = 4
+)
+
+// RWConfig tunes an adaptive RW lock. The zero value selects every default.
+type RWConfig struct {
+	// SamplePeriod is the write-side sampling period, in completed write
+	// sections: every SamplePeriod-th write acquisition folds its reader
+	// observations into the deflation decision.
+	SamplePeriod uint64
+	// DeflatePeriods is how many consecutive sampled periods must observe
+	// zero readers before a writer folds the stripes back inline.
+	DeflatePeriods uint32
+	// DisableAdaptation freezes the lock in its initial reader mode: no
+	// inflation, no deflation. A frozen-inline lock is the compact baseline
+	// the rw benchmarks compare against.
+	DisableAdaptation bool
+	// InitialRWMode is the reader mode a fresh lock starts in (default
+	// RWModeInline). A lock born striped expects reader concurrency and
+	// allocates its spill up front.
+	InitialRWMode RWMode
+	// OnTransition, if non-nil, is invoked after every reader-mode change
+	// with the old mode, new mode, and the triggering reason — the RW
+	// analogue of Config.OnTransition (§4.3 transition tracing).
+	OnTransition func(from, to RWMode, reason string)
+	// Stats, if non-nil, receives this lock's telemetry: writer
+	// acquisitions through the exclusive lanes, reader acquisitions through
+	// the rw lanes, writer drain time, and the inline↔striped transitions.
+	// EnableRW and the read-side samplers are wired at construction.
+	Stats *telemetry.LockStats
+}
+
+// withDefaults returns a copy of c with zero fields replaced by defaults.
+func (c RWConfig) withDefaults() RWConfig {
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = DefaultRWSamplePeriod
+	}
+	if c.DeflatePeriods == 0 {
+		c.DeflatePeriods = DefaultRWDeflatePeriods
+	}
+	if c.InitialRWMode == 0 {
+		c.InitialRWMode = RWModeInline
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c RWConfig) Validate() error {
+	d := c.withDefaults()
+	if d.SamplePeriod > math.MaxUint32 {
+		return fmt.Errorf("glk: RW SamplePeriod %d exceeds the 32-bit countdown range", d.SamplePeriod)
+	}
+	switch d.InitialRWMode {
+	case RWModeInline, RWModeStriped:
+	default:
+		return fmt.Errorf("glk: invalid InitialRWMode %v", d.InitialRWMode)
+	}
+	return nil
+}
+
+// rwShared is the section of an RWLock every arrival touches: the reader
+// mode word, the writer flag readers poll, the writer ticket, the stats
+// pointer, and the lazy reader counter. In the striped steady state the
+// only per-operation write on this line is a writer's — readers write their
+// stripes and merely read the flag.
+type rwShared struct {
+	readers stripe.Counter // lazily-striped count of present readers
+	rwmode  atomic.Uint32  // current RWMode
+	writer  atomic.Uint32  // 1 while a writer holds or is draining
+	wmu     locks.TicketCore
+	stats   *telemetry.LockStats
+}
+
+// rwConfig is the stored form of an RWConfig (the fields consulted after
+// construction; Stats is hoisted to the shared section).
+type rwConfig struct {
+	samplePeriod      uint32
+	deflatePeriods    uint32
+	disableAdaptation bool
+	onTransition      func(from, to RWMode, reason string)
+}
+
+// rwHolder is the writer-only section, guarded by the writer ticket —
+// plain updates throughout, except transitions, which outside readers
+// poll.
+type rwHolder struct {
+	writes      uint64        // completed write sections
+	wtok        uint64        // writer's stripe token, repaid in Unlock
+	transitions atomic.Uint64 // reader-mode changes, for observability
+	sampleIn    uint32        // write sections until the next mode check
+	idlePeriods uint32        // consecutive sampled periods with no readers seen
+	sawReaders  bool          // any drain in the current period met readers
+	cfg         rwConfig
+}
+
+// RWLock is the adaptive reader-writer lock of the glsrw subsystem: GLK's
+// per-lock adaptation applied to the read side. It starts compact — the
+// inline-cell reader count, two cache lines in total — and inflates to
+// BRAVO-style striped readers (locks.RWStriped's protocol) when it
+// observes reader concurrency; writers deflate it back, telemetry-visibly,
+// once readers have been absent for DeflatePeriods sampled write periods.
+// The mode pair mirrors the exclusive lock's ticket↔mcs arc: pay for
+// scalability exactly while the contention that needs it is live, and give
+// the footprint back afterwards (DESIGN.md §9).
+//
+// Inflation triggers on either side of the lock:
+//
+//   - a reader whose deflated count update returns ≥2 has proven
+//     simultaneous readers (the update doubles as the probe, costing
+//     nothing — the reader owns the line at that instant);
+//   - a writer whose drain sweep meets a nonzero reader count has proven
+//     readers overlap writers.
+//
+// Deflation is writer-only: writers are serialized and already past their
+// drain, which makes them the one place the fold cannot race a
+// correctness-bearing Sum (stripe.Counter.Deflate's contract).
+//
+// Layout follows glk.Lock's sectioning discipline: one shared arrival line,
+// one writer-only line; layout_test.go pins both and the ≤4-line ISSUE
+// budget.
+type RWLock struct {
+	rwShared
+	_ [(pad.CacheLineSize - unsafe.Sizeof(rwShared{})%pad.CacheLineSize) % pad.CacheLineSize]byte
+	rwHolder
+	// No trailing pad: rwHolder fills its line exactly (a zero-length
+	// trailing array would itself add padding); TestRWLockFootprint pins
+	// the whole-lines invariant.
+}
+
+var _ locks.RWLock = (*RWLock)(nil)
+
+// NewRW returns an adaptive reader-writer lock. cfg == nil selects all
+// defaults. Invalid configurations panic, like New.
+func NewRW(cfg *RWConfig) *RWLock {
+	var c RWConfig
+	if cfg != nil {
+		c = *cfg
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	c = c.withDefaults()
+	l := &RWLock{}
+	l.cfg = rwConfig{
+		samplePeriod:      uint32(c.SamplePeriod),
+		deflatePeriods:    c.DeflatePeriods,
+		disableAdaptation: c.DisableAdaptation,
+		onTransition:      c.OnTransition,
+	}
+	l.sampleIn = l.cfg.samplePeriod
+	if c.InitialRWMode == RWModeStriped {
+		l.readers.Inflate()
+	}
+	l.rwmode.Store(uint32(c.InitialRWMode))
+	if c.Stats != nil {
+		l.stats = c.Stats
+		l.stats.EnableRW()
+		l.stats.SetReaderSampler(l.readers.Sum)
+		// The exclusive side's presence is the writer queue: the ticket
+		// lock exposes it for free, exactly the paper's ticket measure.
+		l.stats.SetPresenceSampler(func() int64 { return int64(l.wmu.QueueLen()) })
+		l.stats.SetMode(c.InitialRWMode.String())
+	}
+	return l
+}
+
+// RWMode returns the lock's current reader mode (racy snapshot).
+func (l *RWLock) RWMode() RWMode { return RWMode(l.rwmode.Load()) }
+
+// Transitions returns the number of reader-mode changes performed so far.
+func (l *RWLock) Transitions() uint64 { return l.transitions.Load() }
+
+// ReadersInflated reports whether the reader counter is currently striped.
+func (l *RWLock) ReadersInflated() bool { return l.readers.Inflated() }
+
+// Readers returns the current reader count (racy snapshot; diagnostics
+// only).
+func (l *RWLock) Readers() int {
+	if n := l.readers.Sum(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+// WriteLocked reports whether a writer holds (or is acquiring) the lock
+// (racy snapshot).
+func (l *RWLock) WriteLocked() bool { return l.writer.Load() != 0 }
+
+// setRWMode publishes a reader-mode change with its bookkeeping. The CAS
+// makes racing triggers (two readers observing each other at once) report
+// one transition.
+func (l *RWLock) setRWMode(from, to RWMode, reason string) bool {
+	if !l.rwmode.CompareAndSwap(uint32(from), uint32(to)) {
+		return false
+	}
+	l.transitions.Add(1)
+	if l.stats != nil {
+		l.stats.Transition(from.String(), to.String(), reason)
+	}
+	if l.cfg.onTransition != nil {
+		l.cfg.onTransition(from, to, reason)
+	}
+	return true
+}
+
+// inflateReaders switches to striped readers (idempotent).
+func (l *RWLock) inflateReaders(reason string) {
+	l.readers.Inflate()
+	l.setRWMode(RWModeInline, RWModeStriped, reason)
+}
+
+// RLock acquires a read share (see locks.RWStriped for the protocol; this
+// adds the adaptation triggers and telemetry).
+func (l *RWLock) RLock() {
+	tok := stripe.Self()
+	if l.stats != nil {
+		l.rlockInstrumented(tok)
+		return
+	}
+	var s backoff.Spinner
+	for {
+		n := l.readers.AddGet(tok, 1)
+		if l.writer.Load() == 0 {
+			if n >= rwInflateReaders && !l.cfg.disableAdaptation {
+				l.inflateReaders("reader concurrency")
+			}
+			return
+		}
+		l.readers.Add(tok, -1)
+		for l.writer.Load() != 0 {
+			s.Spin()
+		}
+	}
+}
+
+// rwInflateReaders mirrors locks.rwInflateReaders: a deflated count update
+// returning 2 proves a second simultaneous reader.
+const rwInflateReaders = 2
+
+// rlockInstrumented is RLock's telemetry twin.
+func (l *RWLock) rlockInstrumented(tok uint64) {
+	a := l.stats.RArrive(tok)
+	contended := false
+	var s backoff.Spinner
+	for {
+		n := l.readers.AddGet(tok, 1)
+		if l.writer.Load() == 0 {
+			if n >= rwInflateReaders && !l.cfg.disableAdaptation {
+				l.inflateReaders("reader concurrency")
+			}
+			a.RAcquired(contended)
+			return
+		}
+		contended = true
+		l.readers.Add(tok, -1)
+		for l.writer.Load() != 0 {
+			s.Spin()
+		}
+	}
+}
+
+// TryRLock attempts to acquire a read share without waiting.
+func (l *RWLock) TryRLock() bool {
+	tok := stripe.Self()
+	if l.stats != nil {
+		return l.tryRLockInstrumented(tok)
+	}
+	if l.writer.Load() != 0 {
+		return false
+	}
+	n := l.readers.AddGet(tok, 1)
+	if l.writer.Load() == 0 {
+		if n >= rwInflateReaders && !l.cfg.disableAdaptation {
+			l.inflateReaders("reader concurrency")
+		}
+		return true
+	}
+	l.readers.Add(tok, -1)
+	return false
+}
+
+// tryRLockInstrumented is TryRLock's telemetry twin.
+func (l *RWLock) tryRLockInstrumented(tok uint64) bool {
+	a := l.stats.RArrive(tok)
+	if l.writer.Load() != 0 {
+		a.RFailed()
+		return false
+	}
+	n := l.readers.AddGet(tok, 1)
+	if l.writer.Load() == 0 {
+		if n >= rwInflateReaders && !l.cfg.disableAdaptation {
+			l.inflateReaders("reader concurrency")
+		}
+		a.RAcquired(false)
+		return true
+	}
+	l.readers.Add(tok, -1)
+	a.RFailed()
+	return false
+}
+
+// RUnlock releases a read share.
+func (l *RWLock) RUnlock() {
+	tok := stripe.Self()
+	if l.stats != nil {
+		l.stats.RRelease(tok)
+	}
+	l.readers.Add(tok, -1)
+}
+
+// Lock acquires the write lock: FIFO among writers, then raise the flag,
+// then drain the readers. The drain's reader observations feed adaptation;
+// its duration, on sampled acquisitions, feeds telemetry (the
+// writer-blocked-by-readers lane).
+func (l *RWLock) Lock() {
+	tok := stripe.Self()
+	var a telemetry.Acq
+	if l.stats != nil {
+		a = l.stats.Arrive(tok)
+	}
+	contended := !l.wmu.TryLock()
+	if contended {
+		l.wmu.Lock()
+	}
+	l.writer.Store(1)
+	met := l.drain(tok, a.Timed())
+	l.wtok = tok
+	if l.stats != nil {
+		a.Acquired(contended || met)
+	}
+}
+
+// drain waits out present readers, recording what it saw for adaptation
+// and (on timed acquisitions) how long it stalled. Runs with the flag up
+// and the ticket held; sawReaders accumulates until the next sampling
+// boundary.
+func (l *RWLock) drain(tok uint64, timed bool) (met bool) {
+	var s backoff.Spinner
+	var t0 time.Time
+	timed = timed && l.stats != nil
+	for l.readers.Sum() != 0 {
+		if !met {
+			met = true
+			if timed {
+				t0 = time.Now()
+			}
+		}
+		s.Spin()
+	}
+	if met {
+		l.sawReaders = true
+		if timed {
+			l.stats.WriterDrained(tok, time.Since(t0))
+		}
+		if !l.cfg.disableAdaptation {
+			l.inflateReaders("readers overlap writers")
+		}
+	}
+	return met
+}
+
+// TryLock attempts to acquire the write lock without waiting.
+func (l *RWLock) TryLock() bool {
+	tok := stripe.Self()
+	var a telemetry.Acq
+	if l.stats != nil {
+		a = l.stats.Arrive(tok)
+	}
+	if !l.wmu.TryLock() {
+		if l.stats != nil {
+			a.Failed()
+		}
+		return false
+	}
+	l.writer.Store(1)
+	if l.readers.Sum() != 0 {
+		l.writer.Store(0)
+		l.wmu.Unlock()
+		if !l.cfg.disableAdaptation {
+			l.inflateReaders("readers overlap writers")
+		}
+		if l.stats != nil {
+			a.Failed()
+		}
+		return false
+	}
+	l.wtok = tok
+	if l.stats != nil {
+		a.Acquired(false)
+	}
+	return true
+}
+
+// Unlock releases the write lock, running the sampled adaptation step
+// first (the releasing writer is the only goroutine that may touch the
+// holder section, and deflation must finish before the ticket hands over).
+func (l *RWLock) Unlock() {
+	l.tryAdaptRW()
+	if l.stats != nil {
+		l.stats.Release(l.wtok)
+	}
+	l.writer.Store(0)
+	l.wmu.Unlock()
+}
+
+// tryAdaptRW is the write-side sampling step: every samplePeriod write
+// sections, fold the period's reader observations into the deflation
+// decision. Reader-free periods accumulate; any drain that met readers
+// resets the run. All fields are writer-only, ordered by the ticket.
+func (l *RWLock) tryAdaptRW() {
+	l.writes++
+	l.sampleIn--
+	if l.sampleIn != 0 {
+		return
+	}
+	l.sampleIn = l.cfg.samplePeriod
+	if l.cfg.disableAdaptation {
+		l.sawReaders = false
+		return
+	}
+	if l.sawReaders || l.readers.Sum() != 0 {
+		l.sawReaders = false
+		l.idlePeriods = 0
+		return
+	}
+	l.idlePeriods++
+	if l.idlePeriods < l.cfg.deflatePeriods || !l.readers.Inflated() {
+		return
+	}
+	// Readers have been absent for the whole run of periods: give the
+	// spill back. The writer still holds the lock, so the fold cannot race
+	// its own drain; arriving readers divert sum-exactly (stripe.Counter).
+	l.readers.Deflate()
+	l.idlePeriods = 0
+	l.setRWMode(RWModeStriped, RWModeInline,
+		fmt.Sprintf("no readers for %d write periods", l.cfg.deflatePeriods))
+}
+
+// RWStats is an observability snapshot of an adaptive RW lock.
+type RWStats struct {
+	RWMode      RWMode
+	Writes      uint64 // completed write sections (approximate while held)
+	Transitions uint64
+	Readers     int // racy instantaneous reader count
+}
+
+// Stats returns a racy snapshot of the lock's counters.
+func (l *RWLock) Stats() RWStats {
+	return RWStats{
+		RWMode:      l.RWMode(),
+		Writes:      l.writes,
+		Transitions: l.transitions.Load(),
+		Readers:     l.Readers(),
+	}
+}

@@ -32,6 +32,14 @@ type Handle struct {
 	// instead of a table lookup. Frees are rare; cache hits stay two
 	// compares in the common case.
 	epoch uint64
+	// lastRW is the cached lock's read-side interface, non-nil exactly
+	// when the cached key is a reader-writer key; RLock/RUnlock hit the
+	// same one-entry cache as Lock/Unlock (the glsrw read path is
+	// latency-sensitive in exactly the way Figure 11 measures for the
+	// exclusive one). It sits after the exclusive-path fields so their
+	// offsets — and the exclusive hit path's memory layout — match the
+	// pre-glsrw handle exactly.
+	lastRW locks.RWLock
 }
 
 // noFreeEpoch is the cache-epoch sentinel for pairs resolved while a Free
@@ -59,17 +67,19 @@ func (h *Handle) cacheHit(key uint64) bool {
 	return e == h.epoch && h.s.freeStart.Load() == e
 }
 
-// cacheStore records a pair resolved while the free counters read (start,
+// cacheStore records a resolved entry while the free counters read (start,
 // done). start and done must have been loaded, in that field order done
 // then start, *before* resolving the lock: the pair is only trusted when
 // no Free was in flight across the resolution, so a lookup racing a delete
-// can cache but never hit.
-func (h *Handle) cacheStore(key uint64, l locks.Lock, start, done uint64) {
+// can cache but never hit. Both interfaces of the entry are cached (rw is
+// nil for exclusive keys), so a key's read and write paths share the one
+// cache slot.
+func (h *Handle) cacheStore(key uint64, e *entry, start, done uint64) {
 	epoch := start
 	if start != done {
 		epoch = noFreeEpoch // a Free was in flight: never trust this pair
 	}
-	h.lastKey, h.lastLock, h.epoch = key, l, epoch
+	h.lastKey, h.lastLock, h.lastRW, h.epoch = key, e.lock, e.rw, epoch
 }
 
 // lookup resolves key via the one-entry cache, creating the entry on a
@@ -83,7 +93,7 @@ func (h *Handle) lookup(key uint64) locks.Lock {
 	done := h.s.freeDone.Load()
 	start := h.s.freeStart.Load()
 	e, _ := h.s.entryFor(key, algoGLK)
-	h.cacheStore(key, e.lock, start, done)
+	h.cacheStore(key, e, start, done)
 	return e.lock
 }
 
@@ -113,7 +123,7 @@ func (h *Handle) lookupExisting(key uint64) locks.Lock {
 	if e == nil {
 		panic(fmt.Sprintf("gls: Unlock(%#x): key was never locked", key))
 	}
-	h.cacheStore(key, e.lock, start, done)
+	h.cacheStore(key, e, start, done)
 	return e.lock
 }
 
@@ -126,10 +136,59 @@ func (h *Handle) Unlock(key uint64) {
 	h.lookupExisting(key).Unlock()
 }
 
+// lookupRW resolves key's reader-writer lock via the one-entry cache,
+// creating the entry (adaptive glsrw default) on a first use. It panics
+// when the key is mapped to an exclusive lock, like Service.RLock.
+func (h *Handle) lookupRW(key uint64) locks.RWLock {
+	if h.cacheHit(key) && h.lastRW != nil {
+		return h.lastRW
+	}
+	done := h.s.freeDone.Load()
+	start := h.s.freeStart.Load()
+	e, _ := h.s.entryForRW(key, algoGLKRW)
+	h.cacheStore(key, e, start, done)
+	return e.rw
+}
+
+// lookupExistingRW is lookupRW's release-path twin: a miss that finds no
+// mapping (or an exclusive mapping) is a caller bug, never a first use.
+func (h *Handle) lookupExistingRW(key uint64) locks.RWLock {
+	if h.cacheHit(key) && h.lastRW != nil {
+		return h.lastRW
+	}
+	done := h.s.freeDone.Load()
+	start := h.s.freeStart.Load()
+	e := h.s.table.Get(key)
+	if e == nil {
+		panic(fmt.Sprintf("gls: RUnlock(%#x): key was never locked", key))
+	}
+	if e.rw == nil {
+		panic(fmt.Sprintf("gls: RUnlock(%#x): key is mapped to an exclusive lock", key))
+	}
+	h.cacheStore(key, e, start, done)
+	return e.rw
+}
+
+// RLock acquires a read share of the reader-writer lock for key.
+func (h *Handle) RLock(key uint64) {
+	h.lookupRW(key).RLock()
+}
+
+// TryRLock try-acquires a read share of the reader-writer lock for key.
+func (h *Handle) TryRLock(key uint64) bool {
+	return h.lookupRW(key).TryRLock()
+}
+
+// RUnlock releases a read share of the lock for key. With no lock nesting
+// this always hits the cache, exactly like Unlock.
+func (h *Handle) RUnlock(key uint64) {
+	h.lookupExistingRW(key).RUnlock()
+}
+
 // Invalidate drops the cached pair. Since Free already advances the
 // service-wide epoch the cache checks, this is only needed when the caller
 // wants to drop the reference to the lock object itself (e.g. to let a
 // freed lock be collected promptly).
 func (h *Handle) Invalidate() {
-	h.lastKey, h.lastLock = 0, nil
+	h.lastKey, h.lastLock, h.lastRW = 0, nil, nil
 }

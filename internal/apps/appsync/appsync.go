@@ -11,12 +11,26 @@
 package appsync
 
 import (
+	"hash/fnv"
 	"sync"
 
 	"gls"
 	"gls/glk"
 	"gls/locks"
+	"gls/telemetry"
 )
+
+// roleKey derives a stable non-zero telemetry key from a role name, for
+// the providers that do not already map roles to service keys.
+func roleKey(role string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(role))
+	k := h.Sum64()
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
 
 // Provider hands out named locks to an application model.
 type Provider interface {
@@ -37,6 +51,7 @@ type Provider interface {
 // baselines of Figures 13-15.
 type Raw struct {
 	algo locks.Algorithm
+	tele *telemetry.Registry
 
 	mu  sync.Mutex
 	m   map[string]locks.Lock
@@ -48,6 +63,15 @@ func NewRaw(a locks.Algorithm) *Raw {
 	return &Raw{algo: a, m: make(map[string]locks.Lock), rwm: make(map[string]locks.RWLock)}
 }
 
+// WithTelemetry makes every lock the provider hands out feed reg, with the
+// role name as its label — per-role contention for the modelled systems
+// (ROADMAP telemetry follow-up; glsbench -contention reads it). Call
+// before the first GetLock; returns r for chaining.
+func (r *Raw) WithTelemetry(reg *telemetry.Registry) *Raw {
+	r.tele = reg
+	return r
+}
+
 // GetLock implements Provider.
 func (r *Raw) GetLock(role string) locks.Lock {
 	r.mu.Lock()
@@ -55,6 +79,11 @@ func (r *Raw) GetLock(role string) locks.Lock {
 	l, ok := r.m[role]
 	if !ok {
 		l = locks.New(r.algo)
+		if r.tele != nil {
+			k := roleKey(role)
+			r.tele.SetLabel(k, role)
+			l = telemetry.Instrument(l, r.tele.Register(k, r.algo.String()))
+		}
 		r.m[role] = l
 	}
 	return l
@@ -69,10 +98,17 @@ func (r *Raw) GetRWLock(role string) locks.RWLock {
 	defer r.mu.Unlock()
 	l, ok := r.rwm[role]
 	if !ok {
+		kind := "rwttas"
 		if r.algo == locks.Mutex {
 			l = newMutexRW()
+			kind = "rwmutex"
 		} else {
 			l = locks.NewRWTTAS()
+		}
+		if r.tele != nil {
+			k := roleKey(role)
+			r.tele.SetLabel(k, role)
+			l = telemetry.InstrumentRW(l, r.tele.Register(k, kind))
 		}
 		r.rwm[role] = l
 	}
@@ -80,9 +116,13 @@ func (r *Raw) GetRWLock(role string) locks.RWLock {
 }
 
 // GLK provides adaptive locks — the GLK bars of Figures 13-15 (direct GLK,
-// no GLS indirection).
+// no GLS indirection). Reader-writer roles get the adaptive glsrw lock:
+// the paper's footnote-7 TTAS substitution is what the RWTTAS baseline
+// models, while the GLK configuration adapts both lock species.
 type GLK struct {
-	cfg *glk.Config
+	cfg   *glk.Config
+	rwcfg *glk.RWConfig
+	tele  *telemetry.Registry
 
 	mu  sync.Mutex
 	m   map[string]locks.Lock
@@ -94,13 +134,39 @@ func NewGLK(cfg *glk.Config) *GLK {
 	return &GLK{cfg: cfg, m: make(map[string]locks.Lock), rwm: make(map[string]locks.RWLock)}
 }
 
+// WithRWConfig sets the config for the adaptive RW locks the provider
+// hands out (nil selects defaults). Returns g for chaining.
+func (g *GLK) WithRWConfig(cfg *glk.RWConfig) *GLK {
+	g.rwcfg = cfg
+	return g
+}
+
+// WithTelemetry makes every lock the provider hands out feed reg with the
+// role name as its label, like Raw.WithTelemetry — GLK locks get the hooks
+// compiled in natively. Call before the first GetLock.
+func (g *GLK) WithTelemetry(reg *telemetry.Registry) *GLK {
+	g.tele = reg
+	return g
+}
+
 // GetLock implements Provider.
 func (g *GLK) GetLock(role string) locks.Lock {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	l, ok := g.m[role]
 	if !ok {
-		l = glk.New(g.cfg)
+		if g.tele != nil {
+			k := roleKey(role)
+			g.tele.SetLabel(k, role)
+			var cfg glk.Config
+			if g.cfg != nil {
+				cfg = *g.cfg
+			}
+			cfg.Stats = g.tele.Register(k, "glk")
+			l = glk.New(&cfg)
+		} else {
+			l = glk.New(g.cfg)
+		}
 		g.m[role] = l
 	}
 	return l
@@ -115,7 +181,18 @@ func (g *GLK) GetRWLock(role string) locks.RWLock {
 	defer g.mu.Unlock()
 	l, ok := g.rwm[role]
 	if !ok {
-		l = locks.NewRWTTAS()
+		if g.tele != nil {
+			k := roleKey(role)
+			g.tele.SetLabel(k, role)
+			var cfg glk.RWConfig
+			if g.rwcfg != nil {
+				cfg = *g.rwcfg
+			}
+			cfg.Stats = g.tele.Register(k, "glkrw")
+			l = glk.NewRW(&cfg)
+		} else {
+			l = glk.NewRW(g.rwcfg)
+		}
 		g.rwm[role] = l
 	}
 	return l
@@ -139,9 +216,13 @@ func (g *GLK) Locks() map[string]*glk.Lock {
 // GLS provides locks backed by a gls.Service — the GLS bars of Figure 13.
 // Each role maps to a service key; lock operations go through the service
 // (hash lookup included), so the middleware's overhead is part of the
-// measurement. An optional Specialize function picks an explicit algorithm
-// per role (the GLS SPECIALIZED configuration); roles it maps to zero use
-// the default GLK.
+// measurement — reader-writer roles included, which route through the
+// glsrw surface (Service.RLock and friends) rather than reaching around
+// the service the way earlier revisions did. An optional Specialize
+// function picks an explicit algorithm per role (the GLS SPECIALIZED
+// configuration); roles it maps to zero use the default GLK. When the
+// service carries a telemetry registry, every role's key is labelled with
+// the role name, so the registry reports per-role contention for free.
 type GLS struct {
 	svc        *gls.Service
 	specialize func(role string) locks.Algorithm
@@ -149,7 +230,6 @@ type GLS struct {
 	mu   sync.Mutex
 	keys map[string]uint64
 	next uint64
-	rwm  map[string]locks.RWLock
 }
 
 // NewGLS returns a provider backed by svc. specialize may be nil.
@@ -159,11 +239,11 @@ func NewGLS(svc *gls.Service, specialize func(role string) locks.Algorithm) *GLS
 		specialize: specialize,
 		keys:       make(map[string]uint64),
 		next:       0x1000,
-		rwm:        make(map[string]locks.RWLock),
 	}
 }
 
-// keyFor maps a role to a stable service key.
+// keyFor maps a role to a stable service key, labelling it in the
+// service's telemetry registry (if any) on first assignment.
 func (p *GLS) keyFor(role string) uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -172,6 +252,9 @@ func (p *GLS) keyFor(role string) uint64 {
 		p.next++
 		k = p.next
 		p.keys[role] = k
+		if reg := p.svc.Telemetry(); reg != nil {
+			reg.SetLabel(k, role)
+		}
 	}
 	return k
 }
@@ -224,16 +307,27 @@ func (p *GLS) InitLock(role string) {
 	p.svc.InitLockWith(algo, p.keyFor(role))
 }
 
-// GetRWLock implements Provider.
+// glsRWLock adapts a (service, key) pair to locks.RWLock: the write side
+// is the exclusive surface, the read side the glsrw surface.
+type glsRWLock struct {
+	svc *gls.Service
+	key uint64
+}
+
+func (g glsRWLock) Lock()          { g.svc.Lock(g.key) }
+func (g glsRWLock) TryLock() bool  { return g.svc.TryLock(g.key) }
+func (g glsRWLock) Unlock()        { g.svc.Unlock(g.key) }
+func (g glsRWLock) RLock()         { g.svc.RLock(g.key) }
+func (g glsRWLock) TryRLock() bool { return g.svc.TryRLock(g.key) }
+func (g glsRWLock) RUnlock()       { g.svc.RUnlock(g.key) }
+
+// GetRWLock implements Provider. The role's key is introduced through
+// InitRWLock so its species is fixed as reader-writer before any
+// exclusive entry point can auto-create it the other way.
 func (p *GLS) GetRWLock(role string) locks.RWLock {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	l, ok := p.rwm[role]
-	if !ok {
-		l = locks.NewRWTTAS()
-		p.rwm[role] = l
-	}
-	return l
+	k := p.keyFor(role)
+	p.svc.InitRWLock(k)
+	return glsRWLock{svc: p.svc, key: k}
 }
 
 // Key exposes the service key for a role (debug demos print them).

@@ -8,6 +8,7 @@ import (
 	"gls/glk"
 	"gls/internal/sysmon"
 	"gls/locks"
+	"gls/telemetry"
 )
 
 func quietGLK() *glk.Config {
@@ -104,6 +105,124 @@ func TestGLSProviderSpecialization(t *testing.T) {
 	}
 	if _, ok := svc.GLKStats(p.Key("hot")); ok {
 		t.Fatal("specialized role unexpectedly GLK-managed")
+	}
+}
+
+func TestGLKProviderRWLocks(t *testing.T) {
+	p := NewGLK(quietGLK())
+	rw := p.GetRWLock("tree")
+	if rw != p.GetRWLock("tree") {
+		t.Fatal("same role returned different rwlocks")
+	}
+	l, ok := rw.(*glk.RWLock)
+	if !ok {
+		t.Fatalf("GLK provider should hand out adaptive rw locks, got %T", rw)
+	}
+	rw.RLock()
+	rw.RUnlock()
+	rw.Lock()
+	rw.Unlock()
+	if l.Stats().Writes != 1 {
+		t.Fatal("writes not recorded")
+	}
+}
+
+func TestGLSProviderRWRoutesThroughService(t *testing.T) {
+	svc := gls.New(gls.Options{GLK: quietGLK()})
+	defer svc.Close()
+	p := NewGLS(svc, nil)
+	rw := p.GetRWLock("global")
+	if !svc.IsRWKey(p.Key("global")) {
+		t.Fatal("RW role not introduced to the service as an RW key")
+	}
+	rw.RLock()
+	rw.RUnlock()
+	rw.Lock()
+	if rw.TryRLock() {
+		t.Fatal("TryRLock succeeded under the service-held write lock")
+	}
+	rw.Unlock()
+	if st, ok := svc.GLKRWStats(p.Key("global")); !ok || st.Writes != 1 {
+		t.Fatalf("service-side RW stats = %+v, %v", st, ok)
+	}
+}
+
+func TestProvidersTelemetryRoleLabels(t *testing.T) {
+	// All three provider families label roles in their registry, so the
+	// systems figures can report per-role contention.
+	reg := telemetry.New(telemetry.Options{})
+	raw := NewRaw(locks.Ticket).WithTelemetry(reg)
+	raw.GetLock("raw_role").Lock()
+	raw.GetLock("raw_role").Unlock()
+	raw.GetRWLock("raw_rw").RLock()
+	raw.GetRWLock("raw_rw").RUnlock()
+
+	// The MUTEX configuration hands out the blocking rwlock and must not
+	// masquerade as rwttas in the report.
+	regm := telemetry.New(telemetry.Options{})
+	NewRaw(locks.Mutex).WithTelemetry(regm).GetRWLock("m_rw").RLock()
+	found := false
+	for _, l := range regm.Snapshot().Locks {
+		if l.Label == "m_rw" {
+			found = true
+			if l.Kind != "rwmutex" {
+				t.Errorf("mutex provider RW kind = %q, want rwmutex", l.Kind)
+			}
+		}
+	}
+	if !found {
+		t.Error("m_rw missing from mutex provider registry")
+	}
+
+	reg2 := telemetry.New(telemetry.Options{})
+	gp := NewGLK(quietGLK()).WithTelemetry(reg2)
+	gp.GetLock("glk_role").Lock()
+	gp.GetLock("glk_role").Unlock()
+	gp.GetRWLock("glk_rw").RLock()
+	gp.GetRWLock("glk_rw").RUnlock()
+
+	reg3 := telemetry.New(telemetry.Options{})
+	svc := gls.New(gls.Options{GLK: quietGLK(), Telemetry: reg3})
+	defer svc.Close()
+	sp := NewGLS(svc, nil)
+	sp.GetLock("gls_role").Lock()
+	sp.GetLock("gls_role").Unlock()
+	sp.GetRWLock("gls_rw").RLock()
+	sp.GetRWLock("gls_rw").RUnlock()
+
+	for _, tc := range []struct {
+		reg   *telemetry.Registry
+		label string
+		rw    bool
+		acq   string
+	}{
+		{reg, "raw_role", false, "exclusive"},
+		{reg, "raw_rw", true, "read"},
+		{reg2, "glk_role", false, "exclusive"},
+		{reg2, "glk_rw", true, "read"},
+		{reg3, "gls_role", false, "exclusive"},
+		{reg3, "gls_rw", true, "read"},
+	} {
+		snap := tc.reg.Snapshot()
+		var found *telemetry.LockSnapshot
+		for i := range snap.Locks {
+			if snap.Locks[i].Label == tc.label {
+				found = &snap.Locks[i]
+			}
+		}
+		if found == nil {
+			t.Errorf("label %q missing from registry", tc.label)
+			continue
+		}
+		if found.IsRW != tc.rw {
+			t.Errorf("label %q IsRW = %v, want %v", tc.label, found.IsRW, tc.rw)
+		}
+		if tc.rw && found.RAcquisitions != 1 {
+			t.Errorf("label %q RAcquisitions = %d, want 1", tc.label, found.RAcquisitions)
+		}
+		if !tc.rw && found.Acquisitions != 1 {
+			t.Errorf("label %q Acquisitions = %d, want 1", tc.label, found.Acquisitions)
+		}
 	}
 }
 

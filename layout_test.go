@@ -7,6 +7,23 @@ import (
 	"gls/internal/pad"
 )
 
+// TestServiceFreeEpochLayout pins the free-counter placement the handle
+// cache-hit path depends on (see the Service doc): the freeStart/freeDone
+// pair must sit 16-aligned, where Go's 16-aligned size classes cannot
+// split it across cache lines. An Options field once pushed the pair over
+// a line boundary and slowed every handle hit by an extra line touch.
+func TestServiceFreeEpochLayout(t *testing.T) {
+	var s Service
+	start := unsafe.Offsetof(s.freeStart)
+	done := unsafe.Offsetof(s.freeDone)
+	if done != start+8 {
+		t.Errorf("freeDone at %d, want adjacent to freeStart at %d", done, start)
+	}
+	if start%16 != 0 {
+		t.Errorf("freeStart at offset %d, not 16-aligned", start)
+	}
+}
+
 // TestEntryLayout pins the entry padding invariants (see the entry doc
 // comment): the read-only header the lookup path touches never shares a
 // cache line with the debug/profile accumulators, and the entry is a whole

@@ -13,16 +13,18 @@ import (
 // and for avoiding false cache-line sharing, we pad all locks to 64 bytes".
 func TestLockSizesCacheLinePadded(t *testing.T) {
 	cases := map[string]uintptr{
-		"TASLock":    unsafe.Sizeof(TASLock{}),
-		"TTASLock":   unsafe.Sizeof(TTASLock{}),
-		"TicketLock": unsafe.Sizeof(TicketLock{}),
-		"MCSLock":    unsafe.Sizeof(MCSLock{}),
-		"CLHLock":    unsafe.Sizeof(CLHLock{}),
-		"RWTTAS":     unsafe.Sizeof(RWTTAS{}),
-		"MutexLock":  unsafe.Sizeof(MutexLock{}),
-		"MCSTPLock":  unsafe.Sizeof(MCSTPLock{}),
-		"CohortLock": unsafe.Sizeof(CohortLock{}),
-		"cohortNode": unsafe.Sizeof(cohortNode{}),
+		"TASLock":     unsafe.Sizeof(TASLock{}),
+		"TTASLock":    unsafe.Sizeof(TTASLock{}),
+		"TicketLock":  unsafe.Sizeof(TicketLock{}),
+		"MCSLock":     unsafe.Sizeof(MCSLock{}),
+		"CLHLock":     unsafe.Sizeof(CLHLock{}),
+		"RWTTAS":      unsafe.Sizeof(RWTTAS{}),
+		"RWStriped":   unsafe.Sizeof(RWStriped{}),
+		"RWWritePref": unsafe.Sizeof(RWWritePref{}),
+		"MutexLock":   unsafe.Sizeof(MutexLock{}),
+		"MCSTPLock":   unsafe.Sizeof(MCSTPLock{}),
+		"CohortLock":  unsafe.Sizeof(CohortLock{}),
+		"cohortNode":  unsafe.Sizeof(cohortNode{}),
 	}
 	for name, size := range cases {
 		if size%pad.CacheLineSize != 0 {
@@ -40,6 +42,28 @@ func TestLockSizesCacheLinePadded(t *testing.T) {
 	}
 	if s := unsafe.Sizeof(tpNode{}); s%pad.CacheLineSize != 0 {
 		t.Errorf("tpNode is %d bytes, not line-aligned", s)
+	}
+}
+
+// TestRWLockFootprints pins the glsrw space budget (ISSUE 4): an idle
+// striped-reader lock is exactly one cache line — writer flag, writer
+// ticket, and the deflated inline reader cell all on the line a reader
+// must touch anyway — and every RW lock in the family stays within four
+// lines idle. The striped spill (stripe.SpillBytes) is heap, paid only
+// after observed reader concurrency, and reclaimed by deflation.
+func TestRWLockFootprints(t *testing.T) {
+	if s := unsafe.Sizeof(RWStriped{}); s != pad.CacheLineSize {
+		t.Errorf("RWStriped is %d bytes, want exactly one %d-byte line (deflated idle footprint)",
+			s, pad.CacheLineSize)
+	}
+	for name, size := range map[string]uintptr{
+		"RWTTAS":      unsafe.Sizeof(RWTTAS{}),
+		"RWStriped":   unsafe.Sizeof(RWStriped{}),
+		"RWWritePref": unsafe.Sizeof(RWWritePref{}),
+	} {
+		if size > 4*pad.CacheLineSize {
+			t.Errorf("%s is %d bytes, above the 4-line idle RW budget", name, size)
+		}
 	}
 }
 

@@ -82,14 +82,32 @@ type Options struct {
 
 	// Stderr overrides the default issue report destination (tests).
 	Stderr io.Writer
+
+	// GLKRW tunes the adaptive reader-writer locks created by
+	// RLock/TryRLock (the glsrw default). nil selects glk.RWConfig
+	// defaults: compact inline reader counting, striping on observed
+	// reader concurrency, deflation after idle write periods. (Declared
+	// last so the earlier fields — and everything in Service behind them —
+	// keep their pre-glsrw offsets; the free-epoch counters' shared-line
+	// comment depends on the layout.)
+	GLKRW *glk.RWConfig
 }
 
 // entryHeader is the read-only part of an entry: written once at creation,
 // then only read (by every Lock/Unlock that resolves the key).
 type entryHeader struct {
 	key  uint64
-	algo locks.Algorithm // algoGLK or the explicit algorithm
+	algo locks.Algorithm // algoGLK or the explicit algorithm (exclusive keys)
 	lock locks.Lock
+
+	// rw is non-nil exactly when the key was introduced through the
+	// reader-writer surface (RLock/InitRWLock); lock then aliases the same
+	// object's write side, so the exclusive entry points keep working on
+	// an RW key (Lock == write-lock) with zero extra branches. rwalgo is
+	// algoGLKRW or the explicit RW algorithm. A key's species — exclusive
+	// or RW — is decided at first use, like its algorithm.
+	rw     locks.RWLock
+	rwalgo locks.RWAlgorithm
 }
 
 // entryStats is the mutable debug part of an entry. The profile-mode
@@ -143,6 +161,14 @@ type Service struct {
 	// longer force the slow path: their instrumentation is resolved into
 	// the lock objects when entries are built.)
 	fast bool
+
+	// The pad keeps the free-counter pair below 16-byte aligned: every
+	// heap size class that can hold a Service is a multiple of 16, so a
+	// 16-aligned 16-byte span can never straddle a cache line, whatever
+	// the allocator does. layout_test.go pins the alignment (an Options
+	// field once pushed the pair across a line boundary, putting a second
+	// line on every handle cache hit).
+	_ [8]byte
 
 	// freeStart/freeDone count Free calls, seqlock style: freeStart is
 	// bumped before the table delete, freeDone after, so the pair is equal

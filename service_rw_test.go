@@ -1,0 +1,393 @@
+package gls
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gls/glk"
+	"gls/internal/sysmon"
+	"gls/locks"
+	"gls/telemetry"
+)
+
+// testService returns a zero-options service with probe-free monitoring.
+func testRWService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	if opts.GLK == nil {
+		opts.GLK = &glk.Config{Monitor: sysmon.New(sysmon.Options{DisableProbes: true})}
+	}
+	s := New(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestServiceRWBasic(t *testing.T) {
+	s := testRWService(t, Options{})
+	const key = 0x51
+	s.RLock(key) // auto-creates the adaptive RW lock
+	if !s.IsRWKey(key) {
+		t.Fatal("RLock did not create an RW key")
+	}
+	s.RLock(key)
+	s.RUnlock(key)
+	s.RUnlock(key)
+	if !s.TryRLock(key) {
+		t.Fatal("TryRLock on free RW key failed")
+	}
+	s.RUnlock(key)
+
+	// The exclusive surface operates on the same lock's write side.
+	s.Lock(key)
+	if s.TryRLock(key) {
+		t.Fatal("TryRLock succeeded while the write side is held")
+	}
+	s.Unlock(key)
+
+	if st, ok := s.GLKRWStats(key); !ok || st.Writes == 0 {
+		t.Fatalf("GLKRWStats = %+v, %v; want writes recorded", st, ok)
+	}
+	if _, ok := s.GLKRWStats(0x9999); ok {
+		t.Fatal("GLKRWStats on unmapped key reported ok")
+	}
+}
+
+func TestServiceRWExplicitAlgorithms(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{})
+	s := testRWService(t, Options{Telemetry: reg})
+	key := uint64(0x100)
+	for _, a := range locks.RWAlgorithms() {
+		key++
+		s.InitRWLockWith(a, key)
+		s.RLockWith(a, key)
+		s.RUnlock(key)
+		if !s.TryRLockWith(a, key) {
+			t.Fatalf("%v: TryRLockWith failed on free lock", a)
+		}
+		s.RUnlock(key)
+		snap := reg.Snapshot().Lock(key)
+		if snap == nil || snap.Kind != a.String() {
+			t.Fatalf("%v: telemetry kind = %+v", a, snap)
+		}
+		if !snap.IsRW || snap.RAcquisitions != 2 {
+			t.Fatalf("%v: read side not counted: %+v", a, snap)
+		}
+	}
+	if _, ok := s.GLKRWStats(key); ok {
+		t.Fatal("GLKRWStats reported ok for an explicit-algorithm key")
+	}
+}
+
+func TestServiceRWSpeciesMismatchPanics(t *testing.T) {
+	s := testRWService(t, Options{})
+	s.Lock(0x7)
+	s.Unlock(0x7) // 0x7 is now an exclusive key
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on an exclusive key did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("RLock", func() { s.RLock(0x7) })
+	mustPanic("TryRLock", func() { _ = s.TryRLock(0x7) })
+	mustPanic("RUnlock", func() { s.RUnlock(0x7) })
+	mustPanic("InitRWLock", func() { s.InitRWLock(0x7) })
+	mustPanic("RUnlock-never-locked", func() { s.RUnlock(0x8) })
+	mustPanic("InitRWLockWith-zero", func() { s.InitRWLockWith(locks.RWAlgorithm(0), 0x9) })
+	mustPanic("RLock-zero-key", func() { s.RLock(0) })
+}
+
+func TestServiceRWZeroOptionsFastPath(t *testing.T) {
+	// The -race soak of the fast path: readers and writers through the
+	// service, exact writer tally, torn-state check.
+	s := testRWService(t, Options{})
+	const key = 0x42
+	s.InitRWLock(key)
+	const writers, readers, iters = 3, 5, 800
+	var x, y int
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Lock(key)
+				x++
+				runtime.Gosched()
+				y++
+				s.Unlock(key)
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.RLock(key)
+				if x != y {
+					t.Errorf("torn read x=%d y=%d", x, y)
+					s.RUnlock(key)
+					return
+				}
+				s.RUnlock(key)
+			}
+		}()
+	}
+	wg.Wait()
+	if x != writers*iters {
+		t.Fatalf("x = %d, want %d", x, writers*iters)
+	}
+}
+
+func TestHandleRWCaching(t *testing.T) {
+	s := testRWService(t, Options{})
+	h := s.NewHandle()
+	const key = 0x77
+	h.RLock(key) // creates through the handle
+	h.RUnlock(key)
+	if !s.IsRWKey(key) {
+		t.Fatal("handle RLock did not create an RW key")
+	}
+	if !h.TryRLock(key) {
+		t.Fatal("handle TryRLock failed on free lock")
+	}
+	h.RUnlock(key)
+	// Exclusive ops through the same handle cache slot.
+	h.Lock(key)
+	h.Unlock(key)
+	h.RLock(key)
+	h.RUnlock(key)
+
+	// Free invalidates; the next RUnlock without a mapping must panic.
+	s.Free(key)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("handle RUnlock after Free did not panic")
+		}
+	}()
+	h.RUnlock(key)
+}
+
+func TestHandleRUnlockExclusiveKeyPanics(t *testing.T) {
+	s := testRWService(t, Options{})
+	h := s.NewHandle()
+	h.Lock(0x5)
+	h.Unlock(0x5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("handle RUnlock on exclusive key did not panic")
+		}
+	}()
+	h.RUnlock(0x5)
+}
+
+func TestDebugRWUpgradeDeadlockDetected(t *testing.T) {
+	s, c := newDebugService(t, Options{})
+	const key = 0x21
+	s.InitRWLock(key)
+	s.RLock(key)
+	// The write attempt from the share's own holder is the upgrade bug;
+	// TryLock keeps the test from actually deadlocking (the report fires
+	// in the pre-lock checks either way).
+	if s.TryLock(key) {
+		t.Fatal("TryLock succeeded while our own read share is out")
+	}
+	if len(c.byKind(IssueUpgradeDeadlock)) == 0 {
+		t.Fatal("upgrade deadlock not reported")
+	}
+	s.RUnlock(key)
+	// A different goroutine writing is legitimate (no upgrade).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Lock(key)
+		s.Unlock(key)
+	}()
+	wg.Wait()
+	if n := len(c.byKind(IssueUpgradeDeadlock)); n != 1 {
+		t.Fatalf("IssueUpgradeDeadlock count = %d, want exactly 1", n)
+	}
+}
+
+func TestDebugRWDowngradeSelfBlockDetected(t *testing.T) {
+	s, c := newDebugService(t, Options{})
+	const key = 0x22
+	s.InitRWLock(key)
+	s.Lock(key)
+	if s.TryRLock(key) { // write holder read-locking its own key
+		s.RUnlock(key)
+	}
+	if len(c.byKind(IssueUpgradeDeadlock)) == 0 {
+		t.Fatal("Lock→RLock self-block not reported")
+	}
+	s.Unlock(key)
+}
+
+func TestDebugRUnlockNotReaderDetected(t *testing.T) {
+	s, c := newDebugService(t, Options{})
+	const key = 0x23
+	s.InitRWLock(key)
+	s.RUnlock(key) // never RLocked: not a reader
+	if len(c.byKind(IssueRUnlockNotReader)) == 0 {
+		t.Fatal("RUnlock without a share not reported")
+	}
+	// A thief goroutine is also not a reader.
+	s.RLock(key)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.RUnlock(key)
+	}()
+	wg.Wait()
+	s.RUnlock(key)
+	if n := len(c.byKind(IssueRUnlockNotReader)); n != 2 {
+		t.Fatalf("IssueRUnlockNotReader count = %d, want 2", n)
+	}
+	if s.IssueCount(IssueRUnlockNotReader) != 2 {
+		t.Fatalf("IssueCount = %d, want 2", s.IssueCount(IssueRUnlockNotReader))
+	}
+}
+
+func TestDebugRWStrictInitAndMismatch(t *testing.T) {
+	s, c := newDebugService(t, Options{StrictInit: true})
+	s.RLock(0x31) // never initialized under StrictInit
+	s.RUnlock(0x31)
+	if len(c.byKind(IssueUninitializedLock)) == 0 {
+		t.Fatal("uninitialized rlock not reported")
+	}
+	s.InitRWLockWith(locks.RWStripedAlgo, 0x32)
+	s.RLockWith(locks.RWTTASAlgo, 0x32) // wrong algorithm
+	s.RUnlock(0x32)
+	if len(c.byKind(IssueAlgorithmMismatch)) == 0 {
+		t.Fatal("rw algorithm mismatch not reported")
+	}
+	// RUnlock of an exclusive key reports (and does not forward).
+	s.InitLock(0x33)
+	s.RUnlock(0x33)
+	found := false
+	for _, i := range c.byKind(IssueAlgorithmMismatch) {
+		if i.Key == 0x33 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runlock of exclusive key not reported")
+	}
+}
+
+// TestDebugRWDeadlockThroughReadEdge builds a writer↔reader cycle: g1
+// holds a read share of A and blocks writing B; g2 holds B and blocks
+// writing A (waiting on g1's share). The detector must follow the
+// read-holder edge to close the cycle.
+func TestDebugRWDeadlockThroughReadEdge(t *testing.T) {
+	s, c := newDebugService(t, Options{
+		DeadlockWaitThreshold: 20 * time.Millisecond,
+		DeadlockCheckInterval: time.Hour, // manual CheckDeadlocks only
+	})
+	const a, b = 0xa1, 0xb1
+	s.InitRWLock(a)
+	s.InitLock(b)
+	aHeld, bHeld := make(chan struct{}), make(chan struct{})
+	go func() {
+		s.RLock(a)
+		close(aHeld)
+		<-bHeld
+		s.Lock(b) // blocks: g2 owns b
+		s.Unlock(b)
+		s.RUnlock(a)
+	}()
+	go func() {
+		s.Lock(b)
+		close(bHeld)
+		<-aHeld
+		s.Lock(a) // blocks: g1 holds a read share of a
+		s.Unlock(a)
+		s.Unlock(b)
+	}()
+	<-aHeld
+	<-bHeld
+	deadline := time.Now().Add(10 * time.Second)
+	found := 0
+	for time.Now().Before(deadline) {
+		if found = s.CheckDeadlocks(); found > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if found == 0 {
+		t.Fatal("reader-edge deadlock never detected")
+	}
+	deadlocks := c.byKind(IssueDeadlock)
+	if len(deadlocks) == 0 {
+		t.Fatal("no deadlock issue recorded")
+	}
+	// The test genuinely deadlocked two goroutines; there is no clean
+	// unwind. Leave them parked (the test binary exits regardless) — but
+	// make sure the reported cycle names both keys, i.e. the walk really
+	// traversed the read-holder edge.
+	keys := map[uint64]bool{}
+	for _, e := range deadlocks[0].Cycle {
+		keys[e.Key] = true
+	}
+	if !keys[a] || !keys[b] {
+		t.Fatalf("cycle %v does not involve both keys", deadlocks[0].Cycle)
+	}
+}
+
+// TestServiceRWTelemetryEndToEnd: service-created adaptive RW locks feed
+// the registry with the read/write split and the mode transitions.
+func TestServiceRWTelemetryEndToEnd(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	s := testRWService(t, Options{Telemetry: reg})
+	const key = 0x61
+	s.InitRWLock(key)
+	reg.SetLabel(key, "catalog")
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s.RLock(key)
+				runtime.Gosched()
+				s.RUnlock(key)
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		s.Lock(key)
+		s.Unlock(key)
+	}
+	stop.Store(true)
+	wg.Wait()
+	snap := reg.Snapshot().Lock(key)
+	if snap == nil || !snap.IsRW {
+		t.Fatalf("snapshot missing rw key: %+v", snap)
+	}
+	if snap.RAcquisitions == 0 {
+		t.Fatal("no reader acquisitions recorded")
+	}
+	if snap.Acquisitions != 5 {
+		t.Fatalf("writer acquisitions = %d, want 5", snap.Acquisitions)
+	}
+	if snap.Label != "catalog" || snap.Kind != "glkrw" {
+		t.Fatalf("label/kind = %q/%q", snap.Label, snap.Kind)
+	}
+	st, ok := s.GLKRWStats(key)
+	if !ok {
+		t.Fatal("GLKRWStats missing")
+	}
+	if st.RWMode == glk.RWModeStriped && snap.Mode != "rwstriped" {
+		t.Fatalf("telemetry mode %q does not reflect striped state", snap.Mode)
+	}
+}

@@ -64,3 +64,107 @@ func (w *instrumentedLock) Unlock() {
 	w.st.Release(stripe.Self())
 	w.inner.Unlock()
 }
+
+// instrumentedRWLock wraps an explicit reader-writer lock with telemetry
+// hooks, the RW counterpart of instrumentedLock: the write side flows
+// through the exclusive lanes, the read side through the rw lane block.
+// glk.RWLock does not use this wrapper — it calls the hooks natively, which
+// lets it also report its inline↔striped mode transitions and writer drain
+// time.
+type instrumentedRWLock struct {
+	inner locks.RWLock
+	st    *LockStats
+	// writeLocked reports whether a writer currently holds inner, when the
+	// lock can say (every lock in the locks package can); nil otherwise.
+	// It classifies blocked read acquisitions: a TryRLock failure alone is
+	// not proof of a writer — RWWritePref's try also fails on a busy count
+	// guard (reader↔reader), and RWTTAS's on a reader↔reader CAS race —
+	// and counting those as "behind a writer" would invent writer pressure
+	// on writer-free workloads.
+	writeLocked func() bool
+}
+
+// writerReporter is the introspection the wrapper uses to classify reader
+// contention; all locks in the locks package implement it.
+type writerReporter interface {
+	WriteLocked() bool
+}
+
+// InstrumentRW returns l with both sides recorded into st. st must have
+// been EnableRW'd (Registry callers: pass rw=true to the registration or
+// call EnableRW before first use).
+func InstrumentRW(l locks.RWLock, st *LockStats) locks.RWLock {
+	st.EnableRW()
+	w := &instrumentedRWLock{inner: l, st: st}
+	if wr, ok := l.(writerReporter); ok {
+		w.writeLocked = wr.WriteLocked
+	}
+	return w
+}
+
+// UnwrapRW returns the lock underneath the instrumentation.
+func UnwrapRW(l locks.RWLock) locks.RWLock {
+	if w, ok := l.(*instrumentedRWLock); ok {
+		return w.inner
+	}
+	return l
+}
+
+func (w *instrumentedRWLock) Lock() {
+	tok := stripe.Self()
+	a := w.st.Arrive(tok)
+	if w.inner.TryLock() {
+		a.Acquired(false)
+		return
+	}
+	w.inner.Lock()
+	a.Acquired(true)
+}
+
+func (w *instrumentedRWLock) TryLock() bool {
+	tok := stripe.Self()
+	a := w.st.Arrive(tok)
+	if !w.inner.TryLock() {
+		a.Failed()
+		return false
+	}
+	a.Acquired(false)
+	return true
+}
+
+func (w *instrumentedRWLock) Unlock() {
+	w.st.Release(stripe.Self())
+	w.inner.Unlock()
+}
+
+func (w *instrumentedRWLock) RLock() {
+	tok := stripe.Self()
+	a := w.st.RArrive(tok)
+	// Try-first probe like the write side, but a failed TryRLock is only
+	// evidence, not proof, of a writer (see the writeLocked field): ask
+	// the lock whether a writer is actually active before blocking. With
+	// no introspection available, fall back to trusting the probe.
+	if w.inner.TryRLock() {
+		a.RAcquired(false)
+		return
+	}
+	contended := w.writeLocked == nil || w.writeLocked()
+	w.inner.RLock()
+	a.RAcquired(contended)
+}
+
+func (w *instrumentedRWLock) TryRLock() bool {
+	tok := stripe.Self()
+	a := w.st.RArrive(tok)
+	if !w.inner.TryRLock() {
+		a.RFailed()
+		return false
+	}
+	a.RAcquired(false)
+	return true
+}
+
+func (w *instrumentedRWLock) RUnlock() {
+	w.st.RRelease(stripe.Self())
+	w.inner.RUnlock()
+}

@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gls/locks"
+)
+
+// TestInstrumentRWCounts drives both sides of an instrumented RW lock and
+// checks the split lands in the right lanes: writes in the exclusive
+// (writer) columns, reads in the r_ columns.
+func TestInstrumentRWCounts(t *testing.T) {
+	r := New(Options{SamplePeriod: 1})
+	st := r.Register(7, "rwstriped")
+	l := InstrumentRW(locks.NewRWStriped(), st)
+
+	for i := 0; i < 10; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+	for i := 0; i < 40; i++ {
+		l.RLock()
+		l.RUnlock()
+	}
+	if !l.TryRLock() {
+		t.Fatal("TryRLock on free lock failed")
+	}
+	l.RUnlock()
+
+	snap := r.Snapshot().Lock(7)
+	if snap == nil {
+		t.Fatal("lock missing from snapshot")
+	}
+	if !snap.IsRW {
+		t.Fatal("instrumented RW lock not marked rw in snapshot")
+	}
+	if snap.Acquisitions != 10 {
+		t.Errorf("writer Acquisitions = %d, want 10", snap.Acquisitions)
+	}
+	if snap.RArrivals != 41 || snap.RAcquisitions != 41 {
+		t.Errorf("RArrivals/RAcquisitions = %d/%d, want 41/41", snap.RArrivals, snap.RAcquisitions)
+	}
+	if snap.RSamples == 0 || snap.RWaitNanos == 0 {
+		t.Errorf("timed reader samples missing: RSamples=%d RWaitNanos=%d", snap.RSamples, snap.RWaitNanos)
+	}
+	if snap.RQueueTotal < snap.RSamples {
+		t.Errorf("RQueueTotal = %d < RSamples = %d (every sample sees at least itself)",
+			snap.RQueueTotal, snap.RSamples)
+	}
+	if snap.RPresent != 0 {
+		t.Errorf("RPresent = %d after full drain, want 0", snap.RPresent)
+	}
+}
+
+// TestInstrumentRWContention pins the contended/failed classification:
+// readers arriving under a writer count as contended reads (blocking) or
+// failed tries (non-blocking).
+func TestInstrumentRWContention(t *testing.T) {
+	r := New(Options{SamplePeriod: 1})
+	st := r.Register(9, "rwttas")
+	l := InstrumentRW(locks.NewRWTTAS(), st)
+
+	l.Lock() // writer in
+	if l.TryRLock() {
+		t.Fatal("TryRLock succeeded under writer")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l.RLock() // blocks until the writer leaves
+		l.RUnlock()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Unlock()
+	wg.Wait()
+
+	snap := r.Snapshot().Lock(9)
+	if snap.RTryFails != 1 {
+		t.Errorf("RTryFails = %d, want 1", snap.RTryFails)
+	}
+	if snap.RContended != 1 {
+		t.Errorf("RContended = %d, want 1 (the blocked RLock)", snap.RContended)
+	}
+	if snap.RAcquisitions != 1 {
+		t.Errorf("RAcquisitions = %d, want 1", snap.RAcquisitions)
+	}
+	if snap.RContentionRatio() != 1.0 {
+		t.Errorf("RContentionRatio = %v, want 1.0", snap.RContentionRatio())
+	}
+}
+
+// TestRWSnapshotTextAndJSON: the read side flows through the text report
+// (a "read side" sub-line plus the header split) and survives a JSON round
+// trip and a Diff.
+func TestRWSnapshotTextAndJSON(t *testing.T) {
+	r := New(Options{SamplePeriod: 1})
+	st := r.Register(11, "rwstriped")
+	r.SetLabel(11, "catalog")
+	l := InstrumentRW(locks.NewRWStriped(), st)
+	for i := 0; i < 5; i++ {
+		l.RLock()
+		l.RUnlock()
+	}
+	l.Lock()
+	l.Unlock()
+
+	snap1 := r.Snapshot()
+	var text bytes.Buffer
+	if err := snap1.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	if !strings.Contains(out, "read side") {
+		t.Errorf("text report missing the read-side line:\n%s", out)
+	}
+	if !strings.Contains(out, "read side: 5 acquisitions") {
+		t.Errorf("text report missing the read-side header total:\n%s", out)
+	}
+
+	var buf bytes.Buffer
+	if err := snap1.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"r_arrivals": 5`) {
+		t.Errorf("JSON export missing r_arrivals:\n%s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Lock(11)
+	if got == nil || !got.IsRW || got.RAcquisitions != 5 {
+		t.Fatalf("JSON round trip lost the read side: %+v", got)
+	}
+
+	for i := 0; i < 3; i++ {
+		l.RLock()
+		l.RUnlock()
+	}
+	diff := r.Snapshot().Diff(snap1)
+	dl := diff.Lock(11)
+	if dl.RAcquisitions != 3 {
+		t.Errorf("Diff RAcquisitions = %d, want 3", dl.RAcquisitions)
+	}
+	if dl.Acquisitions != 0 {
+		t.Errorf("Diff writer Acquisitions = %d, want 0", dl.Acquisitions)
+	}
+}
+
+// TestSnapshotSortCountsReadSide: a read-mostly hot spot whose writer side
+// is quiet must outrank a mildly-contended exclusive lock — top-N reports
+// truncate, and reader-behind-writer time is contention too.
+func TestSnapshotSortCountsReadSide(t *testing.T) {
+	r := New(Options{SamplePeriod: 1 << 20}) // untimed; counts only
+	cold := r.Register(1, "glk")
+	hot := r.Register(2, "rwstriped")
+	hot.EnableRW()
+	// Exclusive lock: 3 contended acquisitions.
+	for i := 0; i < 3; i++ {
+		a := cold.Arrive(1)
+		a.Acquired(true)
+		cold.Release(1)
+	}
+	// RW lock: writer side silent, 50 reader acquisitions blocked behind a
+	// writer.
+	for i := 0; i < 50; i++ {
+		a := hot.RArrive(1)
+		a.RAcquired(true)
+		hot.RRelease(1)
+	}
+	snap := r.Snapshot()
+	if snap.Locks[0].Key != 2 {
+		t.Fatalf("read-contended lock sorted below writer-contended one: %+v", snap.Locks)
+	}
+}
+
+// TestRWRetiredFold: unregistering an RW lock folds its read side into the
+// retired totals, and Diff corrects them like the exclusive counters.
+func TestRWRetiredFold(t *testing.T) {
+	r := New(Options{SamplePeriod: 1})
+	st := r.Register(13, "rwstriped")
+	l := InstrumentRW(locks.NewRWStriped(), st)
+	for i := 0; i < 6; i++ {
+		l.RLock()
+		l.RUnlock()
+	}
+	before := r.Snapshot()
+	r.Unregister(13)
+	after := r.Snapshot()
+	if after.Retired.RArrivals != 6 || after.Retired.RAcquisitions != 6 {
+		t.Fatalf("retired read side = %d/%d, want 6/6",
+			after.Retired.RArrivals, after.Retired.RAcquisitions)
+	}
+	// Interval view: everything was already reported live in `before`, so
+	// the interval's retired read-side activity is zero.
+	diff := after.Diff(before)
+	if diff.Retired.RAcquisitions != 0 {
+		t.Errorf("interval retired RAcquisitions = %d, want 0", diff.Retired.RAcquisitions)
+	}
+}
+
+// TestReaderSamplerSkipsLanePresence: a self-counting RW lock (reader
+// sampler registered) must not pay the rwSlotRPresent lane adds, and
+// snapshots must read its sampler.
+func TestReaderSamplerSkipsLanePresence(t *testing.T) {
+	r := New(Options{SamplePeriod: 1024}) // untimed: isolate the presence path
+	st := r.Register(15, "glkrw")
+	st.EnableRW()
+	fake := int64(3)
+	st.SetReaderSampler(func() int64 { return fake })
+
+	a := st.RArrive(1)
+	a.RAcquired(false)
+	st.RRelease(1)
+	if got := st.rw.Load().Sum(rwSlotRPresent); got != 0 {
+		t.Fatalf("self-counting lock wrote the presence lane: %d", got)
+	}
+	snap := r.Snapshot().Lock(15)
+	if snap.RPresent != 3 {
+		t.Fatalf("snapshot RPresent = %d, want the sampler's 3", snap.RPresent)
+	}
+}
+
+// TestWriterDrainedSampled: drain time lands in the snapshot and the
+// per-sample average uses the writer Samples denominator.
+func TestWriterDrainedSampled(t *testing.T) {
+	r := New(Options{SamplePeriod: 1})
+	st := r.Register(17, "glkrw")
+	st.EnableRW()
+	a := st.Arrive(1)
+	if !a.Timed() {
+		t.Fatal("period-1 arrival not timed")
+	}
+	a.Acquired(true)
+	st.WriterDrained(1, 500*time.Nanosecond)
+	st.Release(1)
+	snap := r.Snapshot().Lock(17)
+	if snap.WDrainNanos != 500 {
+		t.Fatalf("WDrainNanos = %d, want 500", snap.WDrainNanos)
+	}
+	if got := snap.AvgWriterDrain(); got != 500*time.Nanosecond {
+		t.Fatalf("AvgWriterDrain = %v, want 500ns", got)
+	}
+}

@@ -33,6 +33,22 @@ type LockSnapshot struct {
 
 	Present     int64        `json:"present"`
 	Transitions []Transition `json:"transitions,omitempty"`
+
+	// Read-side counters, present only for reader-writer locks (IsRW). The
+	// exclusive counters above then describe the lock's writer side: an RW
+	// lock's Lock/TryLock are writer acquisitions.
+	IsRW          bool   `json:"rw,omitempty"`
+	RArrivals     uint64 `json:"r_arrivals,omitempty"`
+	RAcquisitions uint64 `json:"r_acquisitions,omitempty"`
+	RContended    uint64 `json:"r_contended,omitempty"`
+	RTryFails     uint64 `json:"r_trylock_failures,omitempty"`
+	RSamples      uint64 `json:"r_samples,omitempty"`
+	RWaitNanos    uint64 `json:"r_wait_ns_total,omitempty"`
+	RQueueTotal   uint64 `json:"r_queue_total,omitempty"`
+	// WDrainNanos is writer time spent blocked by readers (sampled on the
+	// writer's timed acquisitions) — the price of the scalable read side.
+	WDrainNanos uint64 `json:"w_drain_ns_total,omitempty"`
+	RPresent    int64  `json:"r_present,omitempty"`
 }
 
 // Name returns the label if set, else the hex key.
@@ -76,6 +92,42 @@ func (l *LockSnapshot) AvgQueue() float64 {
 	return float64(l.QueueTotal) / float64(l.Samples)
 }
 
+// RContentionRatio is the fraction of read acquisitions that arrived while
+// a writer was active.
+func (l *LockSnapshot) RContentionRatio() float64 {
+	if l.RAcquisitions == 0 {
+		return 0
+	}
+	return float64(l.RContended) / float64(l.RAcquisitions)
+}
+
+// AvgRWait is the mean read-acquisition latency over the timed samples.
+func (l *LockSnapshot) AvgRWait() time.Duration {
+	if l.RSamples == 0 {
+		return 0
+	}
+	return time.Duration(l.RWaitNanos / l.RSamples)
+}
+
+// AvgRQueue is the mean number of readers at the lock sampled at timed
+// read acquisitions.
+func (l *LockSnapshot) AvgRQueue() float64 {
+	if l.RSamples == 0 {
+		return 0
+	}
+	return float64(l.RQueueTotal) / float64(l.RSamples)
+}
+
+// AvgWriterDrain is the mean time a writer spent blocked by readers, over
+// the writer's timed samples (the same Samples denominator as AvgWait — an
+// RW lock's exclusive lanes are its writer side).
+func (l *LockSnapshot) AvgWriterDrain() time.Duration {
+	if l.Samples == 0 {
+		return 0
+	}
+	return time.Duration(l.WDrainNanos / l.Samples)
+}
+
 // TransitionCount is the total number of mode changes.
 func (l *LockSnapshot) TransitionCount() uint64 {
 	var n uint64
@@ -92,18 +144,25 @@ type RetiredSnapshot struct {
 	Locks uint64 `json:"locks"`
 	// Evicted counts the subset of Locks folded because they went idle
 	// rather than because they were freed.
-	Evicted uint64 `json:"evicted,omitempty"`
+	Evicted      uint64 `json:"evicted,omitempty"`
 	Arrivals     uint64 `json:"arrivals"`
 	Acquisitions uint64 `json:"acquisitions"`
 	Contended    uint64 `json:"contended"`
 	TryFails     uint64 `json:"trylock_failures"`
 	Transitions  uint64 `json:"transitions"`
+
+	// Read-side totals of retired RW locks.
+	RArrivals     uint64 `json:"r_arrivals,omitempty"`
+	RAcquisitions uint64 `json:"r_acquisitions,omitempty"`
+	RContended    uint64 `json:"r_contended,omitempty"`
+	RTryFails     uint64 `json:"r_trylock_failures,omitempty"`
 }
 
 // Snapshot is a point-in-time (or, after Diff, an interval) view of a
 // Registry. Locks are sorted most-contended first: by contended
-// acquisitions, then arrivals, then key — the /proc/lock_stat convention of
-// leading with the locks that cost the most.
+// acquisitions (writer plus reader side), then arrivals (both sides), then
+// key — the /proc/lock_stat convention of leading with the locks that cost
+// the most.
 type Snapshot struct {
 	SamplePeriod uint64          `json:"sample_period"`
 	Locks        []LockSnapshot  `json:"locks"`
@@ -139,13 +198,17 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 		SamplePeriod: s.SamplePeriod,
 		Locks:        make([]LockSnapshot, 0, len(s.Locks)),
 		Retired: RetiredSnapshot{
-			Locks:        s.Retired.Locks - prev.Retired.Locks,
-			Evicted:      s.Retired.Evicted - prev.Retired.Evicted,
-			Arrivals:     s.Retired.Arrivals - prev.Retired.Arrivals,
-			Acquisitions: s.Retired.Acquisitions - prev.Retired.Acquisitions,
-			Contended:    s.Retired.Contended - prev.Retired.Contended,
-			TryFails:     s.Retired.TryFails - prev.Retired.TryFails,
-			Transitions:  s.Retired.Transitions - prev.Retired.Transitions,
+			Locks:         s.Retired.Locks - prev.Retired.Locks,
+			Evicted:       s.Retired.Evicted - prev.Retired.Evicted,
+			Arrivals:      s.Retired.Arrivals - prev.Retired.Arrivals,
+			Acquisitions:  s.Retired.Acquisitions - prev.Retired.Acquisitions,
+			Contended:     s.Retired.Contended - prev.Retired.Contended,
+			TryFails:      s.Retired.TryFails - prev.Retired.TryFails,
+			Transitions:   s.Retired.Transitions - prev.Retired.Transitions,
+			RArrivals:     s.Retired.RArrivals - prev.Retired.RArrivals,
+			RAcquisitions: s.Retired.RAcquisitions - prev.Retired.RAcquisitions,
+			RContended:    s.Retired.RContended - prev.Retired.RContended,
+			RTryFails:     s.Retired.RTryFails - prev.Retired.RTryFails,
 		},
 	}
 	curGen := make(map[uint64]uint64, len(s.Locks))
@@ -169,6 +232,14 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			cur.WaitNanos = sub0(cur.WaitNanos, p.WaitNanos)
 			cur.HoldNanos = sub0(cur.HoldNanos, p.HoldNanos)
 			cur.QueueTotal = sub0(cur.QueueTotal, p.QueueTotal)
+			cur.RArrivals = sub0(cur.RArrivals, p.RArrivals)
+			cur.RContended = sub0(cur.RContended, p.RContended)
+			cur.RTryFails = sub0(cur.RTryFails, p.RTryFails)
+			cur.RAcquisitions = sub0(cur.RArrivals, cur.RTryFails)
+			cur.RSamples = sub0(cur.RSamples, p.RSamples)
+			cur.RWaitNanos = sub0(cur.RWaitNanos, p.RWaitNanos)
+			cur.RQueueTotal = sub0(cur.RQueueTotal, p.RQueueTotal)
+			cur.WDrainNanos = sub0(cur.WDrainNanos, p.WDrainNanos)
 			cur.Transitions = diffTransitions(cur.Transitions, p.Transitions)
 		}
 		out.Locks = append(out.Locks, cur)
@@ -185,6 +256,10 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			out.Retired.Acquisitions = sub0(out.Retired.Acquisitions, p.Acquisitions)
 			out.Retired.Contended = sub0(out.Retired.Contended, p.Contended)
 			out.Retired.TryFails = sub0(out.Retired.TryFails, p.TryFails)
+			out.Retired.RArrivals = sub0(out.Retired.RArrivals, p.RArrivals)
+			out.Retired.RAcquisitions = sub0(out.Retired.RAcquisitions, p.RAcquisitions)
+			out.Retired.RContended = sub0(out.Retired.RContended, p.RContended)
+			out.Retired.RTryFails = sub0(out.Retired.RTryFails, p.RTryFails)
 			out.Retired.Transitions = sub0(out.Retired.Transitions, p.TransitionCount())
 		}
 	}
@@ -222,6 +297,15 @@ func (s *Snapshot) totals() (acq, contended, transitions uint64) {
 	return
 }
 
+// rtotals sums the live read-side counters; all zero when no lock is RW.
+func (s *Snapshot) rtotals() (racq, rcontended uint64) {
+	for i := range s.Locks {
+		racq += s.Locks[i].RAcquisitions
+		rcontended += s.Locks[i].RContended
+	}
+	return
+}
+
 // WriteText writes the /proc/lock_stat-style report: a totals header, then
 // one line per lock, most contended first. Latencies are the sampled means;
 // "cont" is the fraction of acquisitions that found the lock held.
@@ -239,6 +323,13 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		"[glstat] locks: %d  acquisitions: %d (%.1f%% contended)  mode transitions: %d  sample period: %d\n",
 		len(s.Locks), acq, pct, transitions, s.SamplePeriod); err != nil {
 		return err
+	}
+	if racq, rcont := s.rtotals(); racq > 0 {
+		rpct := 100 * float64(rcont) / float64(racq)
+		if _, err := fmt.Fprintf(w,
+			"[glstat] read side: %d acquisitions (%.1f%% behind a writer)\n", racq, rpct); err != nil {
+			return err
+		}
 	}
 	if s.Retired.Locks > 0 {
 		if _, err := fmt.Fprintf(w, "[glstat] retired: %d locks (%d idle-evicted), %d acquisitions (%d contended), %d transitions\n",
@@ -261,6 +352,18 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			fmtDur(l.AvgWait()), fmtDur(l.AvgHold()), l.AvgQueue(),
 			formatTransitions(l.Transitions)); err != nil {
 			return err
+		}
+		if l.IsRW {
+			// Read side on its own line: the columns above are the lock's
+			// writer side, so the pair reads like /proc/lock_stat's
+			// read/write split.
+			if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10d %6.1f%% %9d %9s %9s %10.2f  w-drain %s\n",
+				"", "  └ read side", "", "",
+				l.RAcquisitions, 100*l.RContentionRatio(), l.RTryFails,
+				fmtDur(l.AvgRWait()), "-", l.AvgRQueue(),
+				fmtDur(l.AvgWriterDrain())); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -65,6 +65,22 @@ const (
 // an earlier revision paid for a live "present" field now costs one
 // predicted branch, and snapshots read the lock's own counter.
 
+// Slot indices within a reader-writer lock's second lane block (see
+// LockStats.rw). The exclusive slots above carry the lock's *writer* side —
+// an RW lock's Lock/TryLock/Unlock flow through Arrive/Acquired/Release
+// like any exclusive lock — and these carry the read side plus the one
+// cross-side cost worth a lane: how long writers stall draining readers.
+const (
+	rwSlotRArrivals   = iota // RLock/TryRLock entries
+	rwSlotRContended         // reader acquisitions that found a writer active
+	rwSlotRTryFails          // TryRLock attempts that returned false
+	rwSlotRSamples           // timed reader acquisitions
+	rwSlotRWaitNanos         // total reader wait time of timed acquisitions
+	rwSlotRQueueTotal        // readers present sampled at timed acquisitions
+	rwSlotWDrainNanos        // writer time spent blocked by readers (drain)
+	rwSlotRPresent           // readers currently at the lock (non-self-counting)
+)
+
 // DefaultSamplePeriod is how often (in per-lane arrivals) an acquisition is
 // timed: its wait latency, hold latency, and the queue length behind the
 // lock are recorded. Sampling follows the paper's measurement philosophy
@@ -130,6 +146,7 @@ type retiredTotals struct {
 	locks       uint64
 	evicted     uint64 // subset of locks folded by the idle policy, not Free
 	counters    [stripe.LaneSlots]uint64
+	rwCounters  [stripe.LaneSlots]uint64 // read-side lanes of retired RW locks
 	transitions uint64
 }
 
@@ -215,6 +232,12 @@ func (r *Registry) foldLocked(st *LockStats, evicted bool) {
 	}
 	for i, v := range sums {
 		r.retired.counters[i] += v
+	}
+	if rw := st.rw.Load(); rw != nil {
+		rwSums := rw.SumAll()
+		for i, v := range rwSums {
+			r.retired.rwCounters[i] += v
+		}
 	}
 	st.cold.Lock()
 	for _, tr := range st.transitions {
@@ -324,20 +347,25 @@ type Transition struct {
 type PresenceSampler func() int64
 
 // statsHeader is the read-mostly part of a LockStats, padded so the hot
-// lanes that follow start on their own cache line. presence is written once
-// right after registration (lock construction) and read-only afterwards;
-// lastArrivals belongs to the registry's idle-fold scans and is guarded by
-// Registry.mu, not by this struct.
+// lanes that follow start on their own cache line. presence, readers, and
+// rw are written once right after registration (lock construction) and
+// read-only afterwards.
 type statsHeader struct {
 	key        uint64
 	gen        uint64 // registration incarnation (see Registry.gen)
 	sampleMask uint64
 	kind       string
 	presence   atomic.Pointer[PresenceSampler]
-
-	// lastArrivals is the arrival count at the previous idle-fold scan
-	// (guarded by Registry.mu; see Registry.FoldIdle).
-	lastArrivals uint64
+	// readers reports how many readers are currently at the lock, for
+	// self-counting RW locks (glk.RWLock's striped reader counter); nil
+	// otherwise. The RW analogue of presence.
+	readers atomic.Pointer[PresenceSampler]
+	// rw is the read-side lane block, allocated by EnableRW at RW lock
+	// construction and nil for exclusive locks — reader telemetry costs a
+	// pointer, not 4 resident lines, on the overwhelming majority of locks.
+	// Atomic only so a snapshot racing a construction reads nil cleanly;
+	// the hooks themselves always run after EnableRW.
+	rw atomic.Pointer[stripe.Lanes]
 }
 
 // LockStats accumulates the telemetry of one lock. Instances come from
@@ -368,6 +396,11 @@ type LockStats struct {
 	label       string
 	mode        string // current GLK mode; empty for fixed-algorithm locks
 	transitions []Transition
+
+	// lastArrivals is the arrival count at the previous idle-fold scan. It
+	// belongs to the registry's sweeps and is guarded by Registry.mu, not
+	// by cold; it lives down here so the hot-path header stays one line.
+	lastArrivals uint64
 }
 
 // Key returns the lock key this stats block was registered under.
@@ -381,6 +414,29 @@ func (s *LockStats) SetPresenceSampler(f PresenceSampler) {
 	s.presence.Store(&f)
 }
 
+// EnableRW allocates the read-side lane block, marking this lock's stats as
+// reader-writer. Call it at lock construction, before any RArrive; the RW
+// hook methods panic (nil lanes) on stats that were never enabled, because
+// only lock constructors call them and forgetting EnableRW is a bug in the
+// constructor, not a runtime condition.
+func (s *LockStats) EnableRW() {
+	if s.rw.Load() == nil {
+		s.rw.CompareAndSwap(nil, new(stripe.Lanes))
+	}
+}
+
+// IsRW reports whether this stats block carries a read side.
+func (s *LockStats) IsRW() bool { return s.rw.Load() != nil }
+
+// SetReaderSampler hands the stats a reader for the lock's own count of
+// present readers — the RW analogue of SetPresenceSampler. Self-counting RW
+// locks (glk.RWLock's striped reader counter) register one so RArrive/
+// RFailed/RRelease skip the rwSlotRPresent accounting and reader queue
+// samples read the lock's own counter.
+func (s *LockStats) SetReaderSampler(f PresenceSampler) {
+	s.readers.Store(&f)
+}
+
 // selfCounting reports whether the lock supplies its own presence count.
 func (s *LockStats) selfCounting() bool { return s.presence.Load() != nil }
 
@@ -391,6 +447,23 @@ func (s *LockStats) presentNow() int64 {
 		return (*p)()
 	}
 	return int64(s.lanes.Sum(slotPresent))
+}
+
+// selfCountingReaders reports whether the lock supplies its own reader
+// count.
+func (s *LockStats) selfCountingReaders() bool { return s.readers.Load() != nil }
+
+// readersNow reads the current reader presence of an RW lock: the lock's
+// own counter when it reports one, the rwSlotRPresent lanes otherwise.
+func (s *LockStats) readersNow() int64 {
+	if p := s.readers.Load(); p != nil {
+		return (*p)()
+	}
+	rw := s.rw.Load()
+	if rw == nil {
+		return 0
+	}
+	return int64(rw.Sum(rwSlotRPresent))
 }
 
 // Acq is the per-acquisition context carried from Arrive to
@@ -469,6 +542,78 @@ func (s *LockStats) Release(tok uint64) {
 	}
 }
 
+// Timed reports whether this acquisition is a timed sample. Lock
+// implementations with holder-side costs telemetry cannot see from the
+// hooks alone — glk.RWLock's writer measuring its reader drain — use it to
+// pay their own clock reads only on sampled acquisitions.
+func (a Acq) Timed() bool { return a.timed }
+
+// RArrive records a goroutine entering the lock's read-acquire path (RLock
+// or TryRLock) — the read-side twin of Arrive, accumulating into the rw
+// lane block. The stats must have been EnableRW'd at construction.
+func (s *LockStats) RArrive(tok uint64) Acq {
+	rw := s.rw.Load()
+	n := rw.AddGet(tok, rwSlotRArrivals, 1)
+	if !s.selfCountingReaders() {
+		rw.Add(tok, rwSlotRPresent, 1)
+	}
+	a := Acq{st: s, tok: tok}
+	if n&s.sampleMask == 0 {
+		a.timed = true
+		a.start = time.Now()
+	}
+	return a
+}
+
+// RAcquired records a successful read acquisition. contended reports
+// whether a writer was active on arrival. Timed acquisitions record their
+// wait latency and sample the count of present readers. Unlike Acquired
+// there is no hold timer: read holds overlap, and the single holdStart
+// word is writer-only state.
+func (a Acq) RAcquired(contended bool) {
+	s := a.st
+	rw := s.rw.Load()
+	if contended {
+		rw.Add(a.tok, rwSlotRContended, 1)
+	}
+	if !a.timed {
+		return
+	}
+	rw.Add(a.tok, rwSlotRSamples, 1)
+	rw.Add(a.tok, rwSlotRWaitNanos, uint64(time.Since(a.start)))
+	q := s.readersNow()
+	if q < 1 {
+		q = 1 // racing decrements can transiently hide even this reader
+	}
+	rw.Add(a.tok, rwSlotRQueueTotal, uint64(q))
+}
+
+// RFailed records a TryRLock that did not acquire, undoing the reader
+// presence recorded by RArrive.
+func (a Acq) RFailed() {
+	rw := a.st.rw.Load()
+	rw.Add(a.tok, rwSlotRTryFails, 1)
+	if !a.st.selfCountingReaders() {
+		rw.Add(a.tok, rwSlotRPresent, ^uint64(0))
+	}
+}
+
+// RRelease records a reader leaving.
+func (s *LockStats) RRelease(tok uint64) {
+	if !s.selfCountingReaders() {
+		s.rw.Load().Add(tok, rwSlotRPresent, ^uint64(0))
+	}
+}
+
+// WriterDrained records time a writer spent blocked by readers (sweeping
+// the reader count down to zero) — the cross-side cost that tells an
+// operator "this lock's writers are paying for its read scalability".
+// Callers gate their clock reads on Acq.Timed, so the figure is sampled on
+// the same schedule as wait/hold latencies.
+func (s *LockStats) WriterDrained(tok uint64, d time.Duration) {
+	s.rw.Load().Add(tok, rwSlotWDrainNanos, uint64(d))
+}
+
 // Transition records a mode change (GLK's holder calls this after flipping
 // the mode word). from/to are mode names; reason is GLK's explanation, kept
 // per (from, to) edge with the latest occurrence winning.
@@ -522,6 +667,23 @@ func (s *LockStats) snapshot() LockSnapshot {
 	} else {
 		ls.Acquisitions = ls.Arrivals - ls.TryFails
 	}
+	if rwl := s.rw.Load(); rwl != nil {
+		rw := rwl.SumAll()
+		rp := s.readersNow()
+		if rp < 0 {
+			rp = 0
+		}
+		ls.IsRW = true
+		ls.RArrivals = rw[rwSlotRArrivals]
+		ls.RContended = rw[rwSlotRContended]
+		ls.RTryFails = rw[rwSlotRTryFails]
+		ls.RSamples = rw[rwSlotRSamples]
+		ls.RWaitNanos = rw[rwSlotRWaitNanos]
+		ls.RQueueTotal = rw[rwSlotRQueueTotal]
+		ls.WDrainNanos = rw[rwSlotWDrainNanos]
+		ls.RPresent = rp
+		ls.RAcquisitions = sub0(ls.RArrivals, ls.RTryFails)
+	}
 	s.cold.Lock()
 	ls.Label = s.label
 	ls.Mode = s.mode
@@ -549,13 +711,17 @@ func (r *Registry) Snapshot() *Snapshot {
 		SamplePeriod: r.SamplePeriod(),
 		Locks:        make([]LockSnapshot, 0, len(stats)),
 		Retired: RetiredSnapshot{
-			Locks:        retired.locks,
-			Evicted:      retired.evicted,
-			Arrivals:     retired.counters[slotArrivals],
-			Contended:    retired.counters[slotContended],
-			TryFails:     retired.counters[slotTryFails],
-			Acquisitions: sub0(retired.counters[slotArrivals], retired.counters[slotTryFails]),
-			Transitions:  retired.transitions,
+			Locks:         retired.locks,
+			Evicted:       retired.evicted,
+			Arrivals:      retired.counters[slotArrivals],
+			Contended:     retired.counters[slotContended],
+			TryFails:      retired.counters[slotTryFails],
+			Acquisitions:  sub0(retired.counters[slotArrivals], retired.counters[slotTryFails]),
+			RArrivals:     retired.rwCounters[rwSlotRArrivals],
+			RContended:    retired.rwCounters[rwSlotRContended],
+			RTryFails:     retired.rwCounters[rwSlotRTryFails],
+			RAcquisitions: sub0(retired.rwCounters[rwSlotRArrivals], retired.rwCounters[rwSlotRTryFails]),
+			Transitions:   retired.transitions,
 		},
 	}
 	for _, st := range stats {
@@ -574,13 +740,17 @@ func sub0(a, b uint64) uint64 {
 }
 
 func (s *Snapshot) sort() {
+	// Contention counts both sides of an RW lock: a reader blocked behind
+	// a writer is contention exactly like a writer blocked behind a holder,
+	// and a read-mostly hot spot whose writer side is quiet must not sort
+	// below a mildly-contended exclusive lock (top-N reports truncate).
 	sort.Slice(s.Locks, func(i, j int) bool {
 		a, b := &s.Locks[i], &s.Locks[j]
-		if a.Contended != b.Contended {
-			return a.Contended > b.Contended
+		if ac, bc := a.Contended+a.RContended, b.Contended+b.RContended; ac != bc {
+			return ac > bc
 		}
-		if a.Arrivals != b.Arrivals {
-			return a.Arrivals > b.Arrivals
+		if aa, ba := a.Arrivals+a.RArrivals, b.Arrivals+b.RArrivals; aa != ba {
+			return aa > ba
 		}
 		return a.Key < b.Key
 	})
