@@ -13,6 +13,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,7 +32,10 @@ import (
 	"gls/telemetry/telemetryhttp"
 )
 
-// loadSnapshot reads a JSON snapshot from path ("-" for stdin).
+// loadSnapshot reads a JSON snapshot from path ("-" for stdin). Snapshots
+// from a newer build may carry per-lock fields this build does not know how
+// to render; those are reported on stderr rather than dropped silently, so
+// an operator diffing fleet snapshots knows the report is incomplete.
 func loadSnapshot(path string) (*telemetry.Snapshot, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
@@ -41,7 +46,31 @@ func loadSnapshot(path string) (*telemetry.Snapshot, error) {
 		defer f.Close()
 		r = f
 	}
-	return telemetry.ReadJSON(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := telemetry.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	warnUnknownFields(path, data)
+	return snap, nil
+}
+
+// warnUnknownFields re-decodes the snapshot with unknown fields disallowed
+// and surfaces the first mismatch as a warning. The lenient decode above
+// already produced a usable snapshot; this pass only decides whether to
+// tell the operator that the producing build is newer than this glsstat.
+func warnUnknownFields(path string, data []byte) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var strict telemetry.Snapshot
+	if err := dec.Decode(&strict); err != nil {
+		fmt.Fprintf(os.Stderr,
+			"glsstat: warning: %s carries fields this build does not render (%v); upgrade glsstat for the full report\n",
+			path, err)
+	}
 }
 
 // render writes snap as text or JSON, keeping only the top most-contended

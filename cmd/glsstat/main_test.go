@@ -147,3 +147,59 @@ func TestDemoProducesReport(t *testing.T) {
 		t.Fatalf("demo telemetry: %+v", hot)
 	}
 }
+
+// TestUnknownFieldsStillRender: a snapshot produced by a newer build (extra
+// per-lock fields) must render anyway — the strict pass only warns — and
+// the known fields must survive the lenient decode.
+func TestUnknownFieldsStillRender(t *testing.T) {
+	path, _ := writeSnapshotFile(t, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := strings.Replace(string(data), `"kind": "glk"`,
+		`"kind": "glk", "field_from_the_future": 7`, 1)
+	if future == string(data) {
+		t.Fatal("fixture substitution failed")
+	}
+	if err := os.WriteFile(path, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := reportFile(&out, path, 0, false); err != nil {
+		t.Fatalf("reportFile on a future snapshot: %v", err)
+	}
+	if !strings.Contains(out.String(), "hot") {
+		t.Fatalf("future snapshot dropped known fields:\n%s", out.String())
+	}
+}
+
+// TestRendersFairnessLanes: the glsfair starvation/phase lanes appear in
+// the text report's read-side line.
+func TestRendersFairnessLanes(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	st := reg.Register(0xf0, "glkrw")
+	st.EnableRW()
+	tok := stripe.Self()
+	a := st.RArrive(tok)
+	a.RAcquired(true)
+	st.RWaitedPhases(tok, 9)
+	st.RStarvedEvent(tok)
+	st.RRelease(tok)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := reportFile(&out, path, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bypass-phases 9") || !strings.Contains(out.String(), "starved 1") {
+		t.Fatalf("fairness lanes missing from report:\n%s", out.String())
+	}
+}

@@ -34,7 +34,9 @@ import (
 	"gls/glk"
 	"gls/internal/cycles"
 	"gls/internal/sysmon"
+	"gls/internal/xatomic"
 	"gls/internal/xrand"
+	"gls/locks"
 	"gls/telemetry"
 )
 
@@ -52,6 +54,7 @@ var scenarios = map[string]scenario{
 	"oversubscription": {custom: runOversubscription},
 	"churn":            {custom: runChurn},
 	"writerstarvation": {custom: runWriterStarvation},
+	"readerstarvation": {custom: runReaderStarvation},
 	"uninitialized": {kind: gls.IssueUninitializedLock, plant: func(s *gls.Service) {
 		s.Lock(0x6344e0) // never InitLock'ed; StrictInit flags it
 		s.Unlock(0x6344e0)
@@ -275,6 +278,188 @@ func runWriterStarvation() (string, bool) {
 		hot.WDrainNanos > 0 // blocked-by-readers time is visible
 }
 
+// starveProbe runs a continuous writer stream over l and measures, for a
+// small reader population, the worst number of writer phases one RLock
+// spanned. Writers count phases from inside the critical section, so a
+// reader's before/after delta is exactly the phases that bypassed it (plus
+// the one it overlapped). A reader that cannot finish its quota before the
+// deadline reports starved=true with the phases it was stuck across.
+func starveProbe(l locks.RWLock, writers, readers, readsEach int, deadline time.Duration) (maxPhases uint64, starved bool) {
+	var phases atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Lock()
+				phases.Add(1)
+				cycles.Wait(2000) // a real critical section: the flag stays up most of the time
+				l.Unlock()
+			}
+		}()
+	}
+	var max atomic.Uint64
+	var rg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < readsEach; i++ {
+				p0 := phases.Load()
+				l.RLock()
+				crossed := phases.Load() - p0
+				l.RUnlock()
+				xatomic.MaxUint64(&max, crossed)
+			}
+		}()
+	}
+	go func() { rg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(deadline):
+		starved = true
+	}
+	close(stop)
+	wg.Wait()
+	if starved {
+		// Readers may still be blocked inside RLock; with the writers gone
+		// the stream has ended, so they drain now. Their recorded spans
+		// count.
+		rg.Wait()
+	}
+	return max.Load(), starved
+}
+
+// runReaderStarvation is the mirror of runWriterStarvation: continuous
+// writer streams against a reader population, across the fairness family.
+//
+// Two stream shapes, because what "starvation" looks like depends on the
+// scheduler. The *adversarial* stream is one writer re-acquiring with no
+// yield between release and re-acquire: on any machine the flag-down window
+// shrinks to a few instructions, and on a single P the window is only ever
+// observable when the preemption tick happens to land inside it — this is
+// where plain RWStriped's unbounded reader bypass shows, and where the
+// adaptive lock must escalate itself to phase-fair admission. The
+// *yield-heavy* stream is several writers handing the ticket around; it
+// leaks scheduling gaps (so plain striped readers limp through even on one
+// P) but drives real phase traffic — this is where the ≤ K-phase bounds of
+// RWPhaseFair and bounded-bypass RWStriped are asserted.
+//
+// Bounded-bypass RWStriped is deliberately absent from the adversarial
+// half: its bound is counted in waiting *rounds*, and a 1-P adversarial
+// schedule prices every round at a full scheduler slice — admission is
+// still guaranteed (the reader lands in the FIFO writer queue) but takes
+// seconds of wall clock, which is the phase-fair lock's argument, not a
+// scenario failure worth a 60-second CI stall.
+func runReaderStarvation() (string, bool) {
+	const what = "unbounded reader bypass on plain rwstriped; bounded wait on the fair variants; adaptive escalation"
+	const (
+		readers   = 2
+		readsEach = 25
+		maxBypass = 8
+		// streamBound is the asserted phase bound under the yield-heavy
+		// stream: the bypass bound plus the writer queue a reader can land
+		// behind plus slack for the measurement window (the phase counter
+		// starts ticking before the reader's arrival lands).
+		streamWriters = 4
+		streamBound   = maxBypass + streamWriters + 20
+		// adversarialBound is the demonstration threshold: a reader bypassed
+		// by this many phases has no admission order worth the name.
+		adversarialBound = 500
+	)
+	ok := true
+	fmt.Printf("adversarial stream: 1 gapless writer vs %d readers × %d reads on %d procs\n",
+		readers, readsEach, runtime.GOMAXPROCS(0))
+
+	plainMax, plainStarved := starveProbe(locks.NewRWStriped(), 1, readers, readsEach, 6*time.Second)
+	unbounded := plainStarved || plainMax > adversarialBound
+	fmt.Printf("  rwstriped        max %8d phases  timed-out=%-5v  (hole %s)\n",
+		plainMax, plainStarved, map[bool]string{true: "demonstrated", false: "NOT demonstrated"}[unbounded])
+	ok = ok && unbounded
+
+	pfMax, pfStarved := starveProbe(locks.NewRWPhaseFair(), 1, readers, readsEach, 30*time.Second)
+	pfOK := !pfStarved && pfMax <= 4 // admitted at the next phase boundary, even adversarially
+	fmt.Printf("  rwphasefair      max %8d phases  timed-out=%-5v  (bound %s)\n",
+		pfMax, pfStarved, map[bool]string{true: "held", false: "VIOLATED"}[pfOK])
+	ok = ok && pfOK
+
+	// The adaptive default under the adversarial stream, through the
+	// service: bypassed readers raise the starvation signal, the next
+	// writer release switches the lock to rwphasefair, and the reason is
+	// telemetry-visible. FairPeriods is set high because a single
+	// adversarial writer never shows a queue, so the calm heuristic would
+	// otherwise bounce the lock back mid-scenario (a 1-P artifact the
+	// starvation signal would correct, at wall-clock cost).
+	const hotKey = 0x88002
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 8})
+	svc := gls.New(gls.Options{
+		Telemetry: reg,
+		GLKRW: &glk.RWConfig{SamplePeriod: 8, StarveBackouts: 4, FairPeriods: 250,
+			Monitor: sysmon.New(sysmon.Options{DisableProbes: true})},
+	})
+	defer svc.Close()
+	svc.InitRWLock(hotKey)
+	reg.SetLabel(hotKey, "hot-rw")
+	aMax, aStarved := starveProbe(serviceRW{svc: svc, key: hotKey}, 1, readers, readsEach, 45*time.Second)
+	st, _ := svc.GLKRWStats(hotKey)
+	snap := reg.Snapshot()
+	if err := snap.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		return what, false
+	}
+	hot := snap.Lock(hotKey)
+	reached := st.RWMode == glk.RWModePhaseFair
+	if hot != nil && !reached { // count the edge even if a late decision moved on
+		for _, tr := range hot.Transitions {
+			if tr.To == glk.RWModePhaseFair.String() {
+				reached = true
+			}
+		}
+	}
+	fmt.Printf("  glkrw (service)  max %8d phases  timed-out=%-5v  mode %v (%d transitions)\n",
+		aMax, aStarved, st.RWMode, st.Transitions)
+	ok = ok && !aStarved && reached && hot != nil && hot.RStarved > 0
+
+	fmt.Printf("yield-heavy stream: %d ticketed writers vs %d readers × %d reads (bound: %d phases)\n",
+		streamWriters, readers, readsEach, streamBound)
+	for _, v := range []struct {
+		name string
+		l    locks.RWLock
+	}{
+		{"rwstriped-b8", locks.NewRWStripedBounded(maxBypass)},
+		{"rwphasefair", locks.NewRWPhaseFair()},
+	} {
+		m, starved := starveProbe(v.l, streamWriters, readers, readsEach, 30*time.Second)
+		within := !starved && m <= streamBound
+		fmt.Printf("  %-16s max %8d phases  timed-out=%-5v  (bound %s)\n",
+			v.name, m, starved, map[bool]string{true: "held", false: "VIOLATED"}[within])
+		ok = ok && within
+	}
+	return what, ok
+}
+
+// serviceRW adapts one service key to the locks.RWLock contract for the
+// starvation probe.
+type serviceRW struct {
+	svc *gls.Service
+	key uint64
+}
+
+func (s serviceRW) Lock()          { s.svc.Lock(s.key) }
+func (s serviceRW) Unlock()        { s.svc.Unlock(s.key) }
+func (s serviceRW) RLock()         { s.svc.RLock(s.key) }
+func (s serviceRW) RUnlock()       { s.svc.RUnlock(s.key) }
+func (s serviceRW) TryLock() bool  { return s.svc.TryLock(s.key) }
+func (s serviceRW) TryRLock() bool { return s.svc.TryRLock(s.key) }
+
 // runChurn is the high-cardinality churn mode: a key space far larger than
 // the telemetry cap, workers locking through per-goroutine handles (stable
 // keys carry plain counters, so a stale handle cache breaking mutual
@@ -347,10 +532,10 @@ func runChurn() (string, bool) {
 
 func main() {
 	bug := flag.String("bug", "all",
-		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, writerstarvation, all")
+		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, writerstarvation, readerstarvation, all")
 	flag.Parse()
 
-	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "writerstarvation"}
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "writerstarvation", "readerstarvation"}
 	if *bug != "all" {
 		if _, ok := scenarios[*bug]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)

@@ -14,6 +14,13 @@
 // reported by a process-wide background monitor (package sysmon), exactly as
 // in the paper. Different locks in one process can therefore run in
 // different modes at the same time (cf. MySQL in the paper's §5.2).
+//
+// RWLock applies the same adapt-per-lock discipline to reader-writer
+// admission: inline reader counting while readers are solitary, BRAVO-style
+// striped readers under reader concurrency, phase-fair admission when a
+// writer stream starves readers, and a blocking write-preferring delegate
+// under multiprogramming — with every transition and its reason observable,
+// like Mode transitions (DESIGN.md §§9–10).
 package glk
 
 import (

@@ -1,0 +1,285 @@
+package glk
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"gls/internal/sysmon"
+	"gls/telemetry"
+)
+
+// transitionEdge reports whether the snapshot for key carries a from→to
+// transition edge, and returns its recorded reason.
+func transitionEdge(reg *telemetry.Registry, key uint64, from, to string) (string, bool) {
+	snap := reg.Snapshot().Lock(key)
+	if snap == nil {
+		return "", false
+	}
+	for _, tr := range snap.Transitions {
+		if tr.From == from && tr.To == to && tr.Count >= 1 {
+			return tr.Reason, true
+		}
+	}
+	return "", false
+}
+
+// TestRWLockStarvationEscalatesToPhaseFair pins the out-of-band starvation
+// path deterministically: a reader blocked behind a held writer counts its
+// bounded waiting rounds, raises the starvation signal at StarveBackouts,
+// and the very next writer release switches the lock to phase-fair
+// admission — reason and edge telemetry-visible.
+func TestRWLockStarvationEscalatesToPhaseFair(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	st := reg.Register(1, "glkrw")
+	l := NewRW(&RWConfig{Monitor: newTestMonitor(), StarveBackouts: 2, Stats: st})
+	l.Lock()
+	done := make(chan struct{})
+	go func() {
+		l.RLock()
+		l.RUnlock()
+		close(done)
+	}()
+	// The reader needs two bounded waiting rounds (a few thousand spins) to
+	// raise the signal; give it wall-clock room before releasing.
+	time.Sleep(100 * time.Millisecond)
+	l.Unlock() // consumes the signal: rwinline → rwphasefair, then releases
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("starved reader never admitted after the escalation")
+	}
+	if got := l.RWMode(); got != RWModePhaseFair {
+		t.Fatalf("mode after starvation signal = %v, want rwphasefair", got)
+	}
+	reason, ok := transitionEdge(reg, 1, "rwinline", "rwphasefair")
+	if !ok {
+		t.Fatal("rwinline→rwphasefair transition not telemetry-visible")
+	}
+	if reason == "" {
+		t.Fatal("starvation transition has no reason")
+	}
+	// The starvation lane moved: one reader crossed the bound. (The phase
+	// lane stays zero here — a held writer generates no handoffs; the
+	// rounds backstop is what fired.)
+	snap := reg.Snapshot().Lock(1)
+	if snap.RStarved != 1 {
+		t.Fatalf("starvation lane: RStarved=%d (want 1), RWaitPhases=%d", snap.RStarved, snap.RWaitPhases)
+	}
+	// The lock still works across the family boundary.
+	l.RLock()
+	l.RLock()
+	l.RUnlock()
+	l.RUnlock()
+	l.Lock()
+	l.Unlock()
+}
+
+// TestRWLockPhaseFairReturnsToNative: with the writer stream gone (queue
+// never exceeds the holder), FairPeriods calm sampled periods bring the
+// lock back to the native family — in whichever shape the reader counter
+// is actually in: this lock never observed reader concurrency, so it lands
+// in rwinline, not a mislabeled rwstriped.
+func TestRWLockPhaseFairReturnsToNative(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	st := reg.Register(2, "glkrw")
+	l := NewRW(&RWConfig{Monitor: newTestMonitor(), InitialRWMode: RWModePhaseFair,
+		SamplePeriod: 2, FairPeriods: 1, Stats: st})
+	if l.RWMode() != RWModePhaseFair {
+		t.Fatal("InitialRWMode not honored")
+	}
+	for i := 0; i < 6; i++ { // ≥ SamplePeriod × FairPeriods solitary writes
+		l.Lock()
+		l.Unlock()
+	}
+	if got := l.RWMode(); got != RWModeInline {
+		t.Fatalf("mode after calm periods = %v, want rwinline (counter never inflated)", got)
+	}
+	if _, ok := transitionEdge(reg, 2, "rwphasefair", "rwinline"); !ok {
+		t.Fatal("rwphasefair→rwinline transition not telemetry-visible")
+	}
+	// A lock whose stripes were live when it escalated returns to striped.
+	l2 := NewRW(&RWConfig{Monitor: newTestMonitor(), InitialRWMode: RWModePhaseFair,
+		SamplePeriod: 2, FairPeriods: 1, DeflatePeriods: 200})
+	l2.readers.Inflate()
+	for i := 0; i < 6; i++ {
+		l2.Lock()
+		l2.Unlock()
+	}
+	if got := l2.RWMode(); got != RWModeStriped {
+		t.Fatalf("inflated lock de-escalated to %v, want rwstriped", got)
+	}
+}
+
+// TestRWLockBlocksUnderMultiprogramming drives the blocking-mode decision
+// through the same sysmon probe the exclusive lock uses: with the
+// multiprogramming flag up and writers queued, a sampled release moves the
+// lock to rwwritepref.
+func TestRWLockBlocksUnderMultiprogramming(t *testing.T) {
+	mon := sysmon.New(sysmon.Options{Interval: time.Millisecond, DisableProbes: true})
+	mon.Start()
+	defer mon.Stop()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 4})
+	st := reg.Register(3, "glkrw")
+	l := NewRW(&RWConfig{Monitor: mon, SamplePeriod: 1, Stats: st})
+	mon.SetHint(64) // far beyond any GOMAXPROCS: the census probe trips
+	defer mon.SetHint(0)
+	for start := mon.Rounds(); mon.Rounds() < start+2; {
+		time.Sleep(time.Millisecond)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Lock()
+				runtime.Gosched() // keep the second writer queued behind us
+				l.Unlock()
+			}
+		}()
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for l.RWMode() != RWModeWritePref && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := l.RWMode(); got != RWModeWritePref {
+		t.Fatalf("mode under multiprogramming = %v, want rwwritepref", got)
+	}
+	if reason, ok := transitionEdge(reg, 3, "rwinline", "rwwritepref"); !ok || reason == "" {
+		t.Fatalf("rwinline→rwwritepref transition missing or reasonless (ok=%v reason=%q)", ok, reason)
+	}
+	// The blocking family still honors the full contract.
+	l.RLock()
+	l.RUnlock()
+	l.Lock()
+	l.Unlock()
+}
+
+// TestRWLockWritePrefReturnsWhenCalm: a lock born blocking under a calm
+// monitor leaves rwwritepref at its first sampled release, landing in the
+// native shape its reader counter is in (deflated here → rwinline).
+func TestRWLockWritePrefReturnsWhenCalm(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	st := reg.Register(4, "glkrw")
+	l := NewRW(&RWConfig{Monitor: newTestMonitor(), InitialRWMode: RWModeWritePref,
+		SamplePeriod: 1, Stats: st})
+	l.Lock()
+	l.Unlock()
+	if got := l.RWMode(); got != RWModeInline {
+		t.Fatalf("mode after calm release = %v, want rwinline", got)
+	}
+	if _, ok := transitionEdge(reg, 4, "rwwritepref", "rwinline"); !ok {
+		t.Fatal("rwwritepref→rwinline transition not telemetry-visible")
+	}
+}
+
+// TestRWLockFrozenDelegateMode: DisableAdaptation pins a delegate initial
+// mode exactly as it pins the native ones.
+func TestRWLockFrozenDelegateMode(t *testing.T) {
+	l := NewRW(&RWConfig{Monitor: newTestMonitor(), DisableAdaptation: true,
+		InitialRWMode: RWModePhaseFair, SamplePeriod: 1, StarveBackouts: 1})
+	for i := 0; i < 20; i++ {
+		l.Lock()
+		l.Unlock()
+		l.RLock()
+		l.RUnlock()
+	}
+	if got := l.RWMode(); got != RWModePhaseFair || l.Transitions() != 0 {
+		t.Fatalf("frozen phase-fair lock moved: mode %v, %d transitions", got, l.Transitions())
+	}
+}
+
+// TestRWLockConfigValidation pins the new config errors.
+func TestRWLockConfigValidation(t *testing.T) {
+	if err := (RWConfig{InitialRWMode: RWModeWritePref}).Validate(); err != nil {
+		t.Fatalf("delegate InitialRWMode rejected: %v", err)
+	}
+	if err := (RWConfig{FairPeriods: 300}).Validate(); err == nil {
+		t.Fatal("FairPeriods past the 8-bit dwell range accepted")
+	}
+	if err := (RWConfig{DeflatePeriods: 1 << 20}).Validate(); err == nil {
+		t.Fatal("DeflatePeriods past the 8-bit dwell range accepted")
+	}
+}
+
+// TestRWLockFamilyStormExclusion is the cross-family soak: the
+// multiprogramming flag toggles while writers and readers hammer the lock
+// with aggressive adaptation settings, so the lock migrates between all
+// three families mid-storm. The torn-state check proves mutual exclusion
+// survives every hand-over; the final tally proves no writer update was
+// lost. Run under -race in CI.
+func TestRWLockFamilyStormExclusion(t *testing.T) {
+	const writers, readers, iters = 3, 3, 1200
+	mon := sysmon.New(sysmon.Options{Interval: time.Millisecond, DisableProbes: true})
+	mon.Start()
+	defer mon.Stop()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 4})
+	l := NewRW(&RWConfig{Monitor: mon, SamplePeriod: 2, FairPeriods: 1,
+		DeflatePeriods: 1, StarveBackouts: 2, Stats: reg.Register(5, "glkrw")})
+	var x, y int // guarded by l
+	stop := make(chan struct{})
+	var togglerWG sync.WaitGroup
+	togglerWG.Add(1)
+	go func() { // oscillate the multiprogramming flag
+		defer togglerWG.Done()
+		hint := 0
+		for {
+			select {
+			case <-stop:
+				mon.SetHint(0)
+				return
+			case <-time.After(5 * time.Millisecond):
+				hint ^= 64
+				mon.SetHint(hint)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				x++
+				runtime.Gosched() // widen the window a torn read would need
+				y++
+				l.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.RLock()
+				if x != y {
+					t.Errorf("reader observed torn state x=%d y=%d", x, y)
+					l.RUnlock()
+					return
+				}
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	togglerWG.Wait()
+	if x != writers*iters || y != writers*iters {
+		t.Fatalf("x=%d y=%d, want both %d (lost writer updates)", x, y, writers*iters)
+	}
+	if got := l.Readers(); got != 0 {
+		t.Fatalf("Readers after storm = %d, want 0", got)
+	}
+}

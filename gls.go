@@ -17,6 +17,16 @@
 // Package-level Lock/TryLock/Unlock/Free operate on a lazily-created
 // process-wide Service with default options.
 //
+// Beyond the paper's exclusive surface, read-mostly keys get reader-writer
+// locking through RLock/TryRLock/RUnlock (and the *With/Init variants):
+// first use through that surface creates an adaptive glk.RWLock whose
+// write side *is* the key's exclusive lock, so Lock(key) on an RW key is
+// its write lock. A key's species — exclusive or reader-writer — is fixed
+// at first use; InitRWLock pins it explicitly, and using the read surface
+// on an exclusive key panics (see ExampleService_InitRWLock). The adaptive
+// RW lock walks inline → striped → phase-fair → blocking admission as the
+// workload demands (DESIGN.md §§9–10).
+//
 // Three extensions mirror and extend the paper's §4.2 and §4.3:
 //
 //   - debug mode (Options.Debug) detects uninitialized locks, double

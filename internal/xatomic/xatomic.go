@@ -1,0 +1,27 @@
+// Package xatomic holds tiny atomic helpers the standard library lacks,
+// shared by the benchmarks and stress tools (the measurement sides of the
+// tree — lock hot paths inline their own atomics).
+package xatomic
+
+import "sync/atomic"
+
+// MaxInt64 raises *m to v if v is larger, retrying through concurrent
+// updates; the final value is the maximum of every value offered.
+func MaxInt64(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// MaxUint64 is MaxInt64 for unsigned counters.
+func MaxUint64(m *atomic.Uint64, v uint64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -21,6 +21,7 @@ func TestLockSizesCacheLinePadded(t *testing.T) {
 		"RWTTAS":      unsafe.Sizeof(RWTTAS{}),
 		"RWStriped":   unsafe.Sizeof(RWStriped{}),
 		"RWWritePref": unsafe.Sizeof(RWWritePref{}),
+		"RWPhaseFair": unsafe.Sizeof(RWPhaseFair{}),
 		"MutexLock":   unsafe.Sizeof(MutexLock{}),
 		"MCSTPLock":   unsafe.Sizeof(MCSTPLock{}),
 		"CohortLock":  unsafe.Sizeof(CohortLock{}),
@@ -56,10 +57,15 @@ func TestRWLockFootprints(t *testing.T) {
 		t.Errorf("RWStriped is %d bytes, want exactly one %d-byte line (deflated idle footprint)",
 			s, pad.CacheLineSize)
 	}
+	if s := unsafe.Sizeof(RWPhaseFair{}); s != pad.CacheLineSize {
+		t.Errorf("RWPhaseFair is %d bytes, want exactly one %d-byte line (all four ticket words cohabit)",
+			s, pad.CacheLineSize)
+	}
 	for name, size := range map[string]uintptr{
 		"RWTTAS":      unsafe.Sizeof(RWTTAS{}),
 		"RWStriped":   unsafe.Sizeof(RWStriped{}),
 		"RWWritePref": unsafe.Sizeof(RWWritePref{}),
+		"RWPhaseFair": unsafe.Sizeof(RWPhaseFair{}),
 	} {
 		if size > 4*pad.CacheLineSize {
 			t.Errorf("%s is %d bytes, above the 4-line idle RW budget", name, size)

@@ -1,22 +1,38 @@
 // Package locks implements the lock algorithms studied in "Locking Made
-// Easy" (Middleware'16): the simple spinlocks TAS, TTAS and TICKET, the
-// queue-based spinlocks MCS and CLH, and a lightweight blocking MUTEX. It
-// also provides the TTAS-based reader-writer lock the paper substitutes for
-// pthread rwlocks in its systems evaluation (§5.2, footnote 7), plus the
-// two extensions the paper names: a time-published MCS lock (MCSTP) and a
-// lock-cohorting composition (Cohort).
+// Easy" (Middleware'16) plus the extensions this tree has grown around
+// them.
+//
+// Exclusive locks (the Lock interface, constructed via New): the simple
+// spinlocks TAS, TTAS and TICKET, the queue-based spinlocks MCS and CLH, a
+// lightweight blocking MUTEX, and the two extensions the paper names — a
+// time-published MCS lock (MCSTP) and a lock-cohorting composition
+// (Cohort).
+//
+// Reader-writer locks (the RWLock interface, constructed via NewRW): RWTTAS
+// (the TTAS-based lock the paper substitutes for pthread rwlocks in its
+// systems evaluation, §5.2 footnote 7), RWStriped (BRAVO-style striped
+// readers with an optional bounded-bypass fairness knob), RWWritePref (a
+// blocking, write-preferring composition), and RWPhaseFair (Brandenburg-
+// style alternating reader/writer phases — neither side can starve). The
+// README's algorithm-selection table and DESIGN.md §§9–10 say which to pick
+// when; glk.RWLock picks among them adaptively.
 //
 // All locks are padded to cache-line size "for fairness and for avoiding
 // false cache-line sharing" (paper §3.2), expose the same Lock/TryLock/
 // Unlock contract, and — unlike sync.Mutex — require Unlock to be called by
 // the goroutine that acquired the lock (the queue-based algorithms stash
-// their queue node in holder-only state).
+// their queue node in holder-only state). Read shares (RLock/RUnlock) are
+// counted, not owned: RUnlock may run on a different goroutine than the
+// RLock it pairs with.
 //
 // Spin loops escalate to runtime.Gosched so the algorithms remain live when
 // runnable goroutines outnumber GOMAXPROCS; see package backoff.
 package locks
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Lock is the mutual-exclusion contract shared by every algorithm in this
 // package and by glk.Lock.
@@ -84,14 +100,26 @@ func (a Algorithm) Valid() bool {
 	return ok
 }
 
-// ParseAlgorithm converts a name from String back to an Algorithm.
+// ParseAlgorithm converts a name from String back to an Algorithm. Unknown
+// names are rejected with the valid set in the error, matching
+// ParseRWAlgorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	for a, s := range algorithmNames {
-		if s == name {
+	for _, a := range Algorithms() {
+		if a.String() == name {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("locks: unknown algorithm %q", name)
+	return 0, fmt.Errorf("locks: unknown algorithm %q (valid: %s)", name, algorithmList())
+}
+
+// algorithmList names every algorithm in declaration order, for error
+// messages — the exclusive twin of rwAlgorithmList.
+func algorithmList() string {
+	names := make([]string, 0, len(algorithmNames))
+	for _, a := range Algorithms() {
+		names = append(names, a.String())
+	}
+	return strings.Join(names, ", ")
 }
 
 // Algorithms lists every supported algorithm in declaration order.

@@ -1,6 +1,9 @@
 package locks
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // RWAlgorithm identifies a reader-writer lock implementation — the RW
 // analogue of Algorithm. The paper's systems evaluation overloads pthread
@@ -25,12 +28,18 @@ const (
 	// the right shape when writers must not starve or the system is
 	// oversubscribed.
 	RWWritePrefAlgo
+	// RWPhaseFairAlgo is the phase-fair ticket variant: reader and writer
+	// phases alternate, so neither side starves regardless of how
+	// continuous the other's stream is, at RWTTAS-like (shared-line)
+	// read-side cost. The fairness member of the family.
+	RWPhaseFairAlgo
 )
 
 var rwAlgorithmNames = map[RWAlgorithm]string{
 	RWTTASAlgo:      "rwttas",
 	RWStripedAlgo:   "rwstriped",
 	RWWritePrefAlgo: "rwwritepref",
+	RWPhaseFairAlgo: "rwphasefair",
 }
 
 // String returns the lower-case name of the algorithm.
@@ -47,19 +56,31 @@ func (a RWAlgorithm) Valid() bool {
 	return ok
 }
 
-// ParseRWAlgorithm converts a name from String back to an RWAlgorithm.
+// ParseRWAlgorithm converts a name from String back to an RWAlgorithm. An
+// unknown name is rejected with the valid set in the error, so a mistyped
+// CLI flag or config value tells the operator what would have worked.
 func ParseRWAlgorithm(name string) (RWAlgorithm, error) {
-	for a, s := range rwAlgorithmNames {
-		if s == name {
+	for _, a := range RWAlgorithms() {
+		if a.String() == name {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("locks: unknown rw algorithm %q", name)
+	return 0, fmt.Errorf("locks: unknown rw algorithm %q (valid: %s)", name, rwAlgorithmList())
+}
+
+// rwAlgorithmList names every RW algorithm in declaration order, for error
+// messages.
+func rwAlgorithmList() string {
+	names := make([]string, 0, len(rwAlgorithmNames))
+	for _, a := range RWAlgorithms() {
+		names = append(names, a.String())
+	}
+	return strings.Join(names, ", ")
 }
 
 // RWAlgorithms lists every supported RW algorithm in declaration order.
 func RWAlgorithms() []RWAlgorithm {
-	return []RWAlgorithm{RWTTASAlgo, RWStripedAlgo, RWWritePrefAlgo}
+	return []RWAlgorithm{RWTTASAlgo, RWStripedAlgo, RWWritePrefAlgo, RWPhaseFairAlgo}
 }
 
 // NewRW constructs a fresh, unlocked reader-writer lock of the given
@@ -72,6 +93,8 @@ func NewRW(a RWAlgorithm) RWLock {
 		return NewRWStriped()
 	case RWWritePrefAlgo:
 		return NewRWWritePref()
+	case RWPhaseFairAlgo:
+		return NewRWPhaseFair()
 	default:
 		panic(fmt.Sprintf("locks: NewRW(%v): unknown rw algorithm", a))
 	}

@@ -7,13 +7,29 @@ import (
 	"gls/internal/pad"
 )
 
-// RWLock is the reader-writer contract used by the Kyoto Cabinet model.
+// RWLock is the reader-writer contract shared by every RW algorithm in this
+// package and by glk.RWLock: the exclusive Lock/TryLock/Unlock triple for
+// the write side plus counted read shares. Writers must Unlock on the
+// acquiring goroutine; read shares are counted, so RUnlock may run on a
+// different goroutine than its RLock.
 type RWLock interface {
+	// Lock acquires the write lock, waiting out writers and readers.
 	Lock()
+	// Unlock releases the write lock.
 	Unlock()
+	// RLock acquires a read share; shares coexist with each other but
+	// exclude writers.
 	RLock()
+	// RUnlock releases a read share, exactly once per acquisition.
 	RUnlock()
+	// TryLock acquires the write lock without waiting for other holders
+	// and reports success. Tries are conservative: they may fail under
+	// races a retry would win, and RWPhaseFair's — whose admission
+	// protocol forbids abandoning a consumed writer ticket — may briefly
+	// wait out read sections whose arrival raced its emptiness check
+	// (see its comment).
 	TryLock() bool
+	// TryRLock acquires a read share without waiting and reports success.
 	TryRLock() bool
 }
 

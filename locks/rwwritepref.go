@@ -112,6 +112,17 @@ func (l *RWWritePref) RUnlock() {
 	l.rmu.Unlock()
 }
 
+// QueueLen returns the number of writers waiting for or holding the lock
+// (racy snapshot) — the announce word the reader-preference check reads,
+// doubling as the free writer-contention measure the adaptive policy
+// samples.
+func (l *RWWritePref) QueueLen() int {
+	if n := l.wwait.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
 // Readers returns the number of current read holders (racy snapshot;
 // diagnostics only).
 func (l *RWWritePref) Readers() int {

@@ -91,3 +91,9 @@ func (l *TicketCore) QueueLen() int {
 
 // Locked reports whether the lock is currently held (racy; diagnostics only).
 func (l *TicketCore) Locked() bool { return l.QueueLen() > 0 }
+
+// Handoffs returns the number of completed grants (Unlock calls) modulo
+// 2^32 — a free phase counter. The glsfair reader-starvation accounting
+// uses the delta across a wait to count exactly the writer phases that
+// bypassed a blocked reader (wraparound subtraction keeps it exact).
+func (l *TicketCore) Handoffs() uint32 { return l.owner.Load() }

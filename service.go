@@ -86,10 +86,14 @@ type Options struct {
 	// GLKRW tunes the adaptive reader-writer locks created by
 	// RLock/TryRLock (the glsrw default). nil selects glk.RWConfig
 	// defaults: compact inline reader counting, striping on observed
-	// reader concurrency, deflation after idle write periods. (Declared
-	// last so the earlier fields — and everything in Service behind them —
-	// keep their pre-glsrw offsets; the free-epoch counters' shared-line
-	// comment depends on the layout.)
+	// reader concurrency, deflation after idle write periods, phase-fair
+	// admission on observed reader starvation or a sustained writer
+	// stream, and the blocking write-preferring mode under
+	// multiprogramming (glsfair; the policy knobs — StarveBackouts,
+	// FairPeriods, Monitor — live on glk.RWConfig). (Declared last so the
+	// earlier fields — and everything in Service behind them — keep their
+	// pre-glsrw offsets; the free-epoch counters' shared-line comment
+	// depends on the layout.)
 	GLKRW *glk.RWConfig
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"gls/internal/stripe"
 	"gls/locks"
 )
 
@@ -217,7 +218,7 @@ func TestReaderSamplerSkipsLanePresence(t *testing.T) {
 	a := st.RArrive(1)
 	a.RAcquired(false)
 	st.RRelease(1)
-	if got := st.rw.Load().Sum(rwSlotRPresent); got != 0 {
+	if got := st.rw.Load().lanes.Sum(rwSlotRPresent); got != 0 {
 		t.Fatalf("self-counting lock wrote the presence lane: %d", got)
 	}
 	snap := r.Snapshot().Lock(15)
@@ -245,5 +246,54 @@ func TestWriterDrainedSampled(t *testing.T) {
 	}
 	if got := snap.AvgWriterDrain(); got != 500*time.Nanosecond {
 		t.Fatalf("AvgWriterDrain = %v, want 500ns", got)
+	}
+}
+
+// TestFairnessLanesRoundTrip pins the glsfair starvation/phase lanes
+// through every read side: snapshot, JSON round trip, interval diff, and
+// the retired fold.
+func TestFairnessLanesRoundTrip(t *testing.T) {
+	reg := New(Options{SamplePeriod: 1})
+	st := reg.Register(7, "glkrw")
+	st.EnableRW()
+	tok := stripe.Self()
+	a := st.RArrive(tok)
+	a.RAcquired(true)
+	st.RWaitedPhases(tok, 5)
+	st.RStarvedEvent(tok)
+	st.RRelease(tok)
+
+	first := reg.Snapshot()
+	l := first.Lock(7)
+	if l.RWaitPhases != 5 || l.RStarved != 1 {
+		t.Fatalf("snapshot lanes = %d/%d, want 5/1", l.RWaitPhases, l.RStarved)
+	}
+	var buf bytes.Buffer
+	if err := first.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := parsed.Lock(7); p.RWaitPhases != 5 || p.RStarved != 1 {
+		t.Fatalf("JSON round trip lost lanes: %d/%d", p.RWaitPhases, p.RStarved)
+	}
+
+	// Interval: 3 more phases, no new starvation.
+	a = st.RArrive(tok)
+	a.RAcquired(true)
+	st.RWaitedPhases(tok, 3)
+	st.RRelease(tok)
+	diff := reg.Snapshot().Diff(first)
+	if d := diff.Lock(7); d.RWaitPhases != 3 || d.RStarved != 0 {
+		t.Fatalf("diff lanes = %d/%d, want 3/0", d.RWaitPhases, d.RStarved)
+	}
+
+	// Retirement folds the totals.
+	reg.Unregister(7)
+	retired := reg.Snapshot().Retired
+	if retired.RWaitPhases != 8 || retired.RStarved != 1 {
+		t.Fatalf("retired lanes = %d/%d, want 8/1", retired.RWaitPhases, retired.RStarved)
 	}
 }

@@ -48,6 +48,14 @@ type LockSnapshot struct {
 	// WDrainNanos is writer time spent blocked by readers (sampled on the
 	// writer's timed acquisitions) — the price of the scalable read side.
 	WDrainNanos uint64 `json:"w_drain_ns_total,omitempty"`
+	// RWaitPhases is the total number of writer phases that bypassed
+	// blocked readers before admission, and RStarved the number of readers
+	// whose bypass count crossed the starvation bound — the glsfair
+	// fairness lanes (DESIGN.md §10). Large RWaitPhases with zero RStarved
+	// reads as "writers stream, readers keep up"; nonzero RStarved means
+	// the lock asked for (or, frozen, needed) phase-fair admission.
+	RWaitPhases uint64 `json:"r_wait_phases,omitempty"`
+	RStarved    uint64 `json:"r_starved,omitempty"`
 	RPresent    int64  `json:"r_present,omitempty"`
 }
 
@@ -156,6 +164,8 @@ type RetiredSnapshot struct {
 	RAcquisitions uint64 `json:"r_acquisitions,omitempty"`
 	RContended    uint64 `json:"r_contended,omitempty"`
 	RTryFails     uint64 `json:"r_trylock_failures,omitempty"`
+	RWaitPhases   uint64 `json:"r_wait_phases,omitempty"`
+	RStarved      uint64 `json:"r_starved,omitempty"`
 }
 
 // Snapshot is a point-in-time (or, after Diff, an interval) view of a
@@ -209,6 +219,8 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			RAcquisitions: s.Retired.RAcquisitions - prev.Retired.RAcquisitions,
 			RContended:    s.Retired.RContended - prev.Retired.RContended,
 			RTryFails:     s.Retired.RTryFails - prev.Retired.RTryFails,
+			RWaitPhases:   s.Retired.RWaitPhases - prev.Retired.RWaitPhases,
+			RStarved:      s.Retired.RStarved - prev.Retired.RStarved,
 		},
 	}
 	curGen := make(map[uint64]uint64, len(s.Locks))
@@ -240,6 +252,8 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			cur.RWaitNanos = sub0(cur.RWaitNanos, p.RWaitNanos)
 			cur.RQueueTotal = sub0(cur.RQueueTotal, p.RQueueTotal)
 			cur.WDrainNanos = sub0(cur.WDrainNanos, p.WDrainNanos)
+			cur.RWaitPhases = sub0(cur.RWaitPhases, p.RWaitPhases)
+			cur.RStarved = sub0(cur.RStarved, p.RStarved)
 			cur.Transitions = diffTransitions(cur.Transitions, p.Transitions)
 		}
 		out.Locks = append(out.Locks, cur)
@@ -356,12 +370,14 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		if l.IsRW {
 			// Read side on its own line: the columns above are the lock's
 			// writer side, so the pair reads like /proc/lock_stat's
-			// read/write split.
-			if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10d %6.1f%% %9d %9s %9s %10.2f  w-drain %s\n",
+			// read/write split. The trailing cells are the glsfair fairness
+			// lanes: writer drain time, writer phases that bypassed blocked
+			// readers, and readers starved past the bound.
+			if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10d %6.1f%% %9d %9s %9s %10.2f  w-drain %s  bypass-phases %d  starved %d\n",
 				"", "  └ read side", "", "",
 				l.RAcquisitions, 100*l.RContentionRatio(), l.RTryFails,
 				fmtDur(l.AvgRWait()), "-", l.AvgRQueue(),
-				fmtDur(l.AvgWriterDrain())); err != nil {
+				fmtDur(l.AvgWriterDrain()), l.RWaitPhases, l.RStarved); err != nil {
 				return err
 			}
 		}

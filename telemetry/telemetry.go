@@ -81,6 +81,26 @@ const (
 	rwSlotRPresent           // readers currently at the lock (non-self-counting)
 )
 
+// rwExtra is the read-side telemetry block of an RW lock: the striped lane
+// counters above plus the glsfair starvation/phase counters. The latter two
+// are plain shared atomics rather than lane slots — the lanes are full
+// (LaneSlots counters fit one line), and these are written only on the
+// reader slow path (a reader that was bypassed by at least one writer
+// phase), where a possibly-shared atomic add is noise next to the wait it
+// is describing.
+type rwExtra struct {
+	lanes stripe.Lanes
+	// waitPhases is the total number of writer phases that bypassed
+	// blocked readers before they were admitted — the starvation measure
+	// the phase-fair policy acts on, summed so reports can show
+	// phases-per-contended-acquisition.
+	waitPhases atomic.Uint64
+	// starved counts readers whose bypass count crossed the configured
+	// starvation bound (glk.RWConfig.StarveBackouts) — each one is a
+	// reader that asked for phase-fair admission.
+	starved atomic.Uint64
+}
+
 // DefaultSamplePeriod is how often (in per-lane arrivals) an acquisition is
 // timed: its wait latency, hold latency, and the queue length behind the
 // lock are recorded. Sampling follows the paper's measurement philosophy
@@ -143,11 +163,13 @@ type Registry struct {
 }
 
 type retiredTotals struct {
-	locks       uint64
-	evicted     uint64 // subset of locks folded by the idle policy, not Free
-	counters    [stripe.LaneSlots]uint64
-	rwCounters  [stripe.LaneSlots]uint64 // read-side lanes of retired RW locks
-	transitions uint64
+	locks        uint64
+	evicted      uint64 // subset of locks folded by the idle policy, not Free
+	counters     [stripe.LaneSlots]uint64
+	rwCounters   [stripe.LaneSlots]uint64 // read-side lanes of retired RW locks
+	rwWaitPhases uint64                   // starvation/phase counters of retired RW locks
+	rwStarved    uint64
+	transitions  uint64
 }
 
 // New returns an empty registry.
@@ -234,10 +256,12 @@ func (r *Registry) foldLocked(st *LockStats, evicted bool) {
 		r.retired.counters[i] += v
 	}
 	if rw := st.rw.Load(); rw != nil {
-		rwSums := rw.SumAll()
+		rwSums := rw.lanes.SumAll()
 		for i, v := range rwSums {
 			r.retired.rwCounters[i] += v
 		}
+		r.retired.rwWaitPhases += rw.waitPhases.Load()
+		r.retired.rwStarved += rw.starved.Load()
 	}
 	st.cold.Lock()
 	for _, tr := range st.transitions {
@@ -360,12 +384,12 @@ type statsHeader struct {
 	// self-counting RW locks (glk.RWLock's striped reader counter); nil
 	// otherwise. The RW analogue of presence.
 	readers atomic.Pointer[PresenceSampler]
-	// rw is the read-side lane block, allocated by EnableRW at RW lock
+	// rw is the read-side telemetry block, allocated by EnableRW at RW lock
 	// construction and nil for exclusive locks — reader telemetry costs a
 	// pointer, not 4 resident lines, on the overwhelming majority of locks.
 	// Atomic only so a snapshot racing a construction reads nil cleanly;
 	// the hooks themselves always run after EnableRW.
-	rw atomic.Pointer[stripe.Lanes]
+	rw atomic.Pointer[rwExtra]
 }
 
 // LockStats accumulates the telemetry of one lock. Instances come from
@@ -414,14 +438,14 @@ func (s *LockStats) SetPresenceSampler(f PresenceSampler) {
 	s.presence.Store(&f)
 }
 
-// EnableRW allocates the read-side lane block, marking this lock's stats as
-// reader-writer. Call it at lock construction, before any RArrive; the RW
-// hook methods panic (nil lanes) on stats that were never enabled, because
-// only lock constructors call them and forgetting EnableRW is a bug in the
-// constructor, not a runtime condition.
+// EnableRW allocates the read-side telemetry block, marking this lock's
+// stats as reader-writer. Call it at lock construction, before any RArrive;
+// the RW hook methods panic (nil block) on stats that were never enabled,
+// because only lock constructors call them and forgetting EnableRW is a bug
+// in the constructor, not a runtime condition.
 func (s *LockStats) EnableRW() {
 	if s.rw.Load() == nil {
-		s.rw.CompareAndSwap(nil, new(stripe.Lanes))
+		s.rw.CompareAndSwap(nil, new(rwExtra))
 	}
 }
 
@@ -463,7 +487,7 @@ func (s *LockStats) readersNow() int64 {
 	if rw == nil {
 		return 0
 	}
-	return int64(rw.Sum(rwSlotRPresent))
+	return int64(rw.lanes.Sum(rwSlotRPresent))
 }
 
 // Acq is the per-acquisition context carried from Arrive to
@@ -553,9 +577,9 @@ func (a Acq) Timed() bool { return a.timed }
 // lane block. The stats must have been EnableRW'd at construction.
 func (s *LockStats) RArrive(tok uint64) Acq {
 	rw := s.rw.Load()
-	n := rw.AddGet(tok, rwSlotRArrivals, 1)
+	n := rw.lanes.AddGet(tok, rwSlotRArrivals, 1)
 	if !s.selfCountingReaders() {
-		rw.Add(tok, rwSlotRPresent, 1)
+		rw.lanes.Add(tok, rwSlotRPresent, 1)
 	}
 	a := Acq{st: s, tok: tok}
 	if n&s.sampleMask == 0 {
@@ -574,34 +598,34 @@ func (a Acq) RAcquired(contended bool) {
 	s := a.st
 	rw := s.rw.Load()
 	if contended {
-		rw.Add(a.tok, rwSlotRContended, 1)
+		rw.lanes.Add(a.tok, rwSlotRContended, 1)
 	}
 	if !a.timed {
 		return
 	}
-	rw.Add(a.tok, rwSlotRSamples, 1)
-	rw.Add(a.tok, rwSlotRWaitNanos, uint64(time.Since(a.start)))
+	rw.lanes.Add(a.tok, rwSlotRSamples, 1)
+	rw.lanes.Add(a.tok, rwSlotRWaitNanos, uint64(time.Since(a.start)))
 	q := s.readersNow()
 	if q < 1 {
 		q = 1 // racing decrements can transiently hide even this reader
 	}
-	rw.Add(a.tok, rwSlotRQueueTotal, uint64(q))
+	rw.lanes.Add(a.tok, rwSlotRQueueTotal, uint64(q))
 }
 
 // RFailed records a TryRLock that did not acquire, undoing the reader
 // presence recorded by RArrive.
 func (a Acq) RFailed() {
 	rw := a.st.rw.Load()
-	rw.Add(a.tok, rwSlotRTryFails, 1)
+	rw.lanes.Add(a.tok, rwSlotRTryFails, 1)
 	if !a.st.selfCountingReaders() {
-		rw.Add(a.tok, rwSlotRPresent, ^uint64(0))
+		rw.lanes.Add(a.tok, rwSlotRPresent, ^uint64(0))
 	}
 }
 
 // RRelease records a reader leaving.
 func (s *LockStats) RRelease(tok uint64) {
 	if !s.selfCountingReaders() {
-		s.rw.Load().Add(tok, rwSlotRPresent, ^uint64(0))
+		s.rw.Load().lanes.Add(tok, rwSlotRPresent, ^uint64(0))
 	}
 }
 
@@ -611,7 +635,23 @@ func (s *LockStats) RRelease(tok uint64) {
 // Callers gate their clock reads on Acq.Timed, so the figure is sampled on
 // the same schedule as wait/hold latencies.
 func (s *LockStats) WriterDrained(tok uint64, d time.Duration) {
-	s.rw.Load().Add(tok, rwSlotWDrainNanos, uint64(d))
+	s.rw.Load().lanes.Add(tok, rwSlotWDrainNanos, uint64(d))
+}
+
+// RWaitedPhases records that a blocked reader was bypassed by n writer
+// phases before being admitted — the glsfair starvation measure. Callers
+// invoke it once per contended read acquisition (n > 0), so the cost lands
+// on the path that already waited.
+func (s *LockStats) RWaitedPhases(tok uint64, n uint64) {
+	_ = tok // the counter is deliberately unstriped; see rwExtra
+	s.rw.Load().waitPhases.Add(n)
+}
+
+// RStarvedEvent records a reader whose bypass count crossed the starvation
+// bound — the event that sends an adaptive lock to phase-fair admission.
+func (s *LockStats) RStarvedEvent(tok uint64) {
+	_ = tok
+	s.rw.Load().starved.Add(1)
 }
 
 // Transition records a mode change (GLK's holder calls this after flipping
@@ -668,7 +708,7 @@ func (s *LockStats) snapshot() LockSnapshot {
 		ls.Acquisitions = ls.Arrivals - ls.TryFails
 	}
 	if rwl := s.rw.Load(); rwl != nil {
-		rw := rwl.SumAll()
+		rw := rwl.lanes.SumAll()
 		rp := s.readersNow()
 		if rp < 0 {
 			rp = 0
@@ -681,6 +721,8 @@ func (s *LockStats) snapshot() LockSnapshot {
 		ls.RWaitNanos = rw[rwSlotRWaitNanos]
 		ls.RQueueTotal = rw[rwSlotRQueueTotal]
 		ls.WDrainNanos = rw[rwSlotWDrainNanos]
+		ls.RWaitPhases = rwl.waitPhases.Load()
+		ls.RStarved = rwl.starved.Load()
 		ls.RPresent = rp
 		ls.RAcquisitions = sub0(ls.RArrivals, ls.RTryFails)
 	}
@@ -721,6 +763,8 @@ func (r *Registry) Snapshot() *Snapshot {
 			RContended:    retired.rwCounters[rwSlotRContended],
 			RTryFails:     retired.rwCounters[rwSlotRTryFails],
 			RAcquisitions: sub0(retired.rwCounters[rwSlotRArrivals], retired.rwCounters[rwSlotRTryFails]),
+			RWaitPhases:   retired.rwWaitPhases,
+			RStarved:      retired.rwStarved,
 			Transitions:   retired.transitions,
 		},
 	}
