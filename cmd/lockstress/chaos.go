@@ -1,0 +1,302 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/chaos"
+	"gls/internal/cycles"
+	"gls/internal/sysmon"
+	"gls/internal/xrand"
+	"gls/telemetry"
+)
+
+// This file is the glsx fault-injection harness: scenarios that prove the
+// deadline bounds of the cancellable acquisition stack under injected
+// faults, rather than planting API-misuse bugs for debug mode to catch.
+//
+//   - holderstall parks a never-unlocking holder (chaos.StallHolder) on one
+//     key and launches a storm of LockCtx calls with mixed deadlines against
+//     it, once per GLK family. Every call must return DeadlineExceeded
+//     within its deadline plus a bounded slack, and every timeout must land
+//     in the telemetry timeout lane exactly once.
+//   - abortstorm races bounded, cancelled, and plain acquisitions against
+//     each other and the adaptation machinery, with chaos delay/preempt/
+//     stall faults at every lock-op boundary and injected mid-section
+//     panics through the panic-safe WithLock. Mutual exclusion is tallied
+//     exactly; the abort lanes must reconcile with the failed lane.
+
+// stallSlack bounds how far past its deadline a LockCtx return may land
+// under a stalled holder. The abort paths poll (or park on a timer), so the
+// intrinsic latency is microseconds; the slack absorbs scheduler noise from
+// hundreds of runnable goroutines on few Ps, not protocol cost.
+const stallSlack = 2 * time.Second
+
+// serviceLock adapts one service key to chaos.Locker for the holder faults.
+type serviceLock struct {
+	svc *gls.Service
+	key uint64
+}
+
+func (s serviceLock) Lock()   { s.svc.Lock(s.key) }
+func (s serviceLock) Unlock() { s.svc.Unlock(s.key) }
+
+// runHolderStall proves the tentpole bound per GLK family: ticket, mcs and
+// mutex each hold a round with adaptation pinned, so every family's native
+// abort path faces the stalled holder.
+func runHolderStall() (string, bool) {
+	const what = "deadline-bounded LockCtx returns under a never-unlocking holder"
+	waiters := 1000
+	if quickMode {
+		waiters = 200
+	}
+	rounds := []struct {
+		name string
+		mode glk.Mode
+	}{
+		{"ticket", glk.ModeTicket},
+		{"mcs", glk.ModeMCS},
+		{"mutex", glk.ModeMutex},
+	}
+	ok := true
+	for _, round := range rounds {
+		ok = holderStallRound(round.name, round.mode, waiters) && ok
+	}
+	return what, ok
+}
+
+// holderStallRound runs one family's storm: a stalled holder, `waiters`
+// concurrent LockCtx calls with deadlines staggered across 25..200ms, and
+// the three assertions — right error, bounded overshoot, exact timeout
+// telemetry.
+func holderStallRound(name string, mode glk.Mode, waiters int) bool {
+	const hotKey = 0xC4A05
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 8})
+	svc := gls.New(gls.Options{
+		Telemetry: reg,
+		GLK: &glk.Config{
+			DisableAdaptation: true,
+			InitialMode:       mode,
+			Monitor:           sysmon.New(sysmon.Options{DisableProbes: true}),
+		},
+	})
+	defer svc.Close()
+	svc.InitLock(hotKey)
+	reg.SetLabel(hotKey, "stalled")
+
+	held := make(chan struct{})
+	release := make(chan struct{})
+	holderDone := make(chan struct{})
+	go func() {
+		chaos.StallHolder(serviceLock{svc, hotKey}, held, release)
+		close(holderDone)
+	}()
+	<-held
+
+	fmt.Printf("[%s] %d LockCtx waiters (deadlines 25..200ms) vs a stalled holder on %d procs...\n",
+		name, waiters, runtime.GOMAXPROCS(0))
+	var wrongErr, overshoots atomic.Int64
+	var worst atomic.Int64 // worst overshoot past the waiter's own deadline, ns
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := time.Duration(1+i%8) * 25 * time.Millisecond
+			ctx, cancel := context.WithTimeout(context.Background(), d)
+			defer cancel()
+			t0 := time.Now()
+			err := svc.LockCtx(ctx, hotKey)
+			over := time.Since(t0) - d
+			if err == nil {
+				// Impossible grant: the holder never released.
+				svc.Unlock(hotKey)
+				wrongErr.Add(1)
+				return
+			}
+			if err != context.DeadlineExceeded {
+				wrongErr.Add(1)
+			}
+			if over > stallSlack {
+				overshoots.Add(1)
+			}
+			for {
+				cur := worst.Load()
+				if int64(over) <= cur || worst.CompareAndSwap(cur, int64(over)) {
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(release)
+	<-holderDone
+
+	// The lock must come back: the storm of aborted waiters left no queue
+	// residue behind the departed holder.
+	svc.Lock(hotKey)
+	svc.Unlock(hotKey)
+
+	hot := reg.Snapshot().Lock(hotKey)
+	laneOK := hot != nil && hot.Timeouts == uint64(waiters) && hot.TryFails == uint64(waiters)
+	pass := wrongErr.Load() == 0 && overshoots.Load() == 0 && laneOK
+	fmt.Printf("[%s] worst overshoot %v (slack %v); wrong errors %d; timeout lane %d/%d  => %s\n",
+		name, time.Duration(worst.Load()).Round(time.Millisecond), stallSlack,
+		wrongErr.Load(), laneValue(hot), waiters, passStr(pass))
+	return pass
+}
+
+func laneValue(l *telemetry.LockSnapshot) uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.Timeouts
+}
+
+func passStr(ok bool) string {
+	if ok {
+		return "bound held"
+	}
+	return "BOUND VIOLATED"
+}
+
+// runAbortStorm races every acquisition shape the bounded surface offers —
+// TryLockFor budgets, pre-cancelled LockCtx, plain WithLock, injected
+// mid-section panics — under chaos faults at each lock-op boundary, on an
+// adaptive lock sampling as fast as it can. It asserts exact mutual
+// exclusion, full reconciliation of the abort lanes, aborts visible to the
+// adaptation signal, and a still-working lock.
+func runAbortStorm() (string, bool) {
+	const what = "exact tallies and reconciled abort lanes under chaos faults and racing aborts"
+	const hotKey = 0xAB027
+	iters := 3000
+	if quickMode {
+		iters = 600
+	}
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	svc := gls.New(gls.Options{
+		Telemetry: reg,
+		GLK: &glk.Config{
+			SamplePeriod: 2, AdaptPeriod: 4,
+			Monitor: sysmon.New(sysmon.Options{DisableProbes: true}),
+		},
+	})
+	defer svc.Close()
+	svc.InitLock(hotKey)
+	reg.SetLabel(hotKey, "storm")
+
+	inj := chaos.New(chaos.Config{
+		Seed:      0xC0FFEE,
+		DelayProb: 0.2, DelayCycles: 2048,
+		PreemptProb: 0.2,
+		StallProb:   0.02, StallDur: 500 * time.Microsecond,
+	})
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead() // a context that is already cancelled: feeds the cancel lane
+
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	fmt.Printf("%d workers × %d iters of bounded/cancelled/panicking acquisitions under chaos faults (seed %#x)...\n",
+		workers, iters, 0xC0FFEE)
+	var held int64 // mutated only inside the critical section
+	var granted, panics atomic.Int64
+	var budgetBusts atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cw := inj.Worker(uint64(w))
+			rng := xrand.NewSplitMix64(uint64(w)*0x51ab1ed + 11)
+			section := func() {
+				held++
+				cw.Point(chaos.OpInSection)
+				cycles.Wait(256)
+				cw.Point(chaos.OpPreUnlock)
+			}
+			for i := 0; i < iters; i++ {
+				cw.Point(chaos.OpPreLock)
+				switch rng.Uintn(10) {
+				case 0, 1, 2, 3: // bounded wait, often expiring
+					d := time.Duration(1+rng.Uintn(300)) * time.Microsecond
+					t0 := time.Now()
+					ok := svc.TryLockFor(hotKey, d)
+					over := time.Since(t0) - d
+					if ok {
+						section()
+						svc.Unlock(hotKey)
+						granted.Add(1)
+					} else if over > stallSlack {
+						budgetBusts.Add(1)
+					}
+				case 4: // dead context: grant only if free at the probe
+					if err := svc.LockCtx(dead, hotKey); err == nil {
+						section()
+						svc.Unlock(hotKey)
+						granted.Add(1)
+					}
+				case 5: // injected mid-section panic through the safe wrapper
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								if _, want := r.(chaos.SectionPanic); !want {
+									panic(r)
+								}
+								panics.Add(1)
+							}
+						}()
+						svc.WithLock(hotKey, func() {
+							section()
+							granted.Add(1)
+							chaos.PanicSection()
+						})
+					}()
+				default: // plain blocking acquisition
+					svc.Lock(hotKey)
+					section()
+					svc.Unlock(hotKey)
+					granted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The lock survives the storm.
+	svc.Lock(hotKey)
+	tally := held
+	svc.Unlock(hotKey)
+
+	st, _ := svc.GLKStats(hotKey)
+	snap := reg.Snapshot()
+	if err := snap.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		return what, false
+	}
+	hot := snap.Lock(hotKey)
+	if hot == nil {
+		return what, false
+	}
+	fmt.Printf("granted %d (tally %d), injected faults pre/in/post %d/%d/%d, panics %d, "+
+		"timeouts %d cancels %d try-fails %d, glk aborts %d, mode %v\n",
+		granted.Load(), tally,
+		inj.Injected(chaos.OpPreLock), inj.Injected(chaos.OpInSection), inj.Injected(chaos.OpPreUnlock),
+		panics.Load(), hot.Timeouts, hot.Cancels, hot.TryFails, st.Aborts, st.Mode)
+	ok := tally == granted.Load() && // exact mutual exclusion, panics included
+		budgetBusts.Load() == 0 && // every bounded wait returned within budget+slack
+		hot.TryFails == hot.Timeouts+hot.Cancels && // aborts count exactly once
+		hot.Timeouts > 0 && hot.Cancels > 0 && // both cause lanes exercised
+		st.Aborts > 0 // the adaptation signal saw the departures
+	return what, ok
+}

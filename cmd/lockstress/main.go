@@ -55,6 +55,8 @@ var scenarios = map[string]scenario{
 	"churn":            {custom: runChurn},
 	"writerstarvation": {custom: runWriterStarvation},
 	"readerstarvation": {custom: runReaderStarvation},
+	"holderstall":      {custom: runHolderStall},
+	"abortstorm":       {custom: runAbortStorm},
 	"uninitialized": {kind: gls.IssueUninitializedLock, plant: func(s *gls.Service) {
 		s.Lock(0x6344e0) // never InitLock'ed; StrictInit flags it
 		s.Unlock(0x6344e0)
@@ -530,12 +532,18 @@ func runChurn() (string, bool) {
 	return what, ok
 }
 
+// quickMode trims the chaos scenarios' iteration counts for CI smoke runs
+// (-quick); set once in main before any scenario runs.
+var quickMode bool
+
 func main() {
 	bug := flag.String("bug", "all",
-		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, writerstarvation, readerstarvation, all")
+		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, writerstarvation, readerstarvation, holderstall, abortstorm, all")
+	quick := flag.Bool("quick", false, "reduced iteration counts (CI smoke runs)")
 	flag.Parse()
+	quickMode = *quick
 
-	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "writerstarvation", "readerstarvation"}
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "writerstarvation", "readerstarvation", "holderstall", "abortstorm"}
 	if *bug != "all" {
 		if _, ok := scenarios[*bug]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)

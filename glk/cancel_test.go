@@ -1,0 +1,210 @@
+package glk
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gls/locks"
+	"gls/telemetry"
+)
+
+func expiredCancel() *locks.Cancel {
+	return &locks.Cancel{Deadline: time.Now().Add(-time.Millisecond)}
+}
+
+func deadlineIn(d time.Duration) *locks.Cancel {
+	return &locks.Cancel{Deadline: time.Now().Add(d)}
+}
+
+// TestLockCancelGLK covers the adaptive lock's contract: grant beats abort
+// when uncontended, a contended waiter departs within its deadline, the
+// departure is counted, and the lock stays functional.
+func TestLockCancelGLK(t *testing.T) {
+	l := New(&Config{Monitor: newTestMonitor()})
+	if !l.LockCancel(expiredCancel()) {
+		t.Fatal("uncontended LockCancel failed")
+	}
+	res := make(chan bool)
+	go func() { res <- l.LockCancel(deadlineIn(10 * time.Millisecond)) }()
+	select {
+	case got := <-res:
+		if got {
+			t.Fatal("acquired a held lock")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("aborting waiter never returned")
+	}
+	if l.Aborts() != 1 {
+		t.Fatalf("Aborts = %d, want 1", l.Aborts())
+	}
+	l.Unlock()
+	l.Lock()
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("lock not free after aborts")
+	}
+	l.Unlock()
+}
+
+// TestAbortsFeedAdaptation pins the new contention signal: a burst of
+// aborted waiters, folded into the sampled queue at the next boundary, must
+// push a quiet ticket lock over the up-threshold into mcs — timed-out
+// waiters are pressure the presence count alone no longer shows once they
+// leave.
+func TestAbortsFeedAdaptation(t *testing.T) {
+	l := New(&Config{
+		SamplePeriod: 1, AdaptPeriod: 2,
+		UpThreshold: 4, DownThreshold: 1, EMAWeight: 1,
+		Monitor: newTestMonitor(),
+	})
+	if got := l.Mode(); got != ModeTicket {
+		t.Fatalf("fresh lock in %v, want ticket", got)
+	}
+	l.Lock()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.LockCancel(deadlineIn(time.Millisecond))
+		}()
+	}
+	wg.Wait()
+	if l.Aborts() == 0 {
+		t.Fatal("no aborts recorded")
+	}
+	l.Unlock()
+	// Walk the sampling boundaries: the abort delta is folded into the
+	// first sampled queue after the burst, and EMAWeight=1 adopts it.
+	for i := 0; i < 8 && Mode(l.lockType.Load()) == ModeTicket; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+	if got := l.Mode(); got != ModeMCS {
+		t.Fatalf("mode after abort burst = %v, want mcs (aborts did not feed adaptation)", got)
+	}
+}
+
+// TestAbortVsAdaptationRaceSoak races cancellable waiters (tiny, often-
+// expiring deadlines) against plain acquisitions on a lock adapting as fast
+// as it can, across every family boundary. Mutual exclusion is asserted on
+// every grant; the lock must end functional in whatever mode it settled.
+// Run with -race: the soak exists to let the detector see an abort on
+// family A interleave with the handoff and the ticket→mcs transition.
+func TestAbortVsAdaptationRaceSoak(t *testing.T) {
+	l := New(&Config{
+		SamplePeriod: 1, AdaptPeriod: 2,
+		UpThreshold: 2, DownThreshold: 1, EMAWeight: 0.9,
+		Monitor: newTestMonitor(),
+	})
+	const workers = 8
+	iters := 400
+	if testing.Short() {
+		iters = 80
+	}
+	var inSection atomic.Int32
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var ok bool
+				if w%2 == 0 {
+					ok = l.LockCancel(deadlineIn(time.Duration(i%3) * 50 * time.Microsecond))
+				} else {
+					l.Lock()
+					ok = true
+				}
+				if !ok {
+					continue
+				}
+				if n := inSection.Add(1); n != 1 {
+					t.Errorf("mutual exclusion violated: %d in section", n)
+				}
+				inSection.Add(-1)
+				granted.Add(1)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if granted.Load() == 0 {
+		t.Fatal("soak granted nothing")
+	}
+	if !l.TryLock() {
+		t.Fatal("lock wedged after abort-vs-adaptation soak")
+	}
+	l.Unlock()
+}
+
+// TestLockCancelInstrumented checks the telemetry discipline on the
+// adaptive lock: every bounded arrival resolves to exactly one of acquired
+// or aborted, aborts land in the failed lane once, and the cause counters
+// split them.
+func TestLockCancelInstrumented(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	st := reg.Register(1, "glk")
+	l := New(&Config{Monitor: newTestMonitor(), Stats: st})
+	l.Lock()
+	done := make(chan struct{})
+	close(done)
+	if l.LockCancel(&locks.Cancel{Done: done, Deadline: time.Now().Add(time.Hour)}) {
+		t.Fatal("acquired a held lock")
+	}
+	if l.LockCancel(deadlineIn(5 * time.Millisecond)) {
+		t.Fatal("acquired a held lock")
+	}
+	l.Unlock()
+	if !l.LockCancel(deadlineIn(time.Hour)) {
+		t.Fatal("free lock not acquired")
+	}
+	l.Unlock()
+	snap := reg.Snapshot()
+	if len(snap.Locks) != 1 {
+		t.Fatalf("want 1 lock in snapshot, got %d", len(snap.Locks))
+	}
+	ls := snap.Locks[0]
+	if ls.Timeouts != 1 || ls.Cancels != 1 {
+		t.Fatalf("timeouts/cancels = %d/%d, want 1/1", ls.Timeouts, ls.Cancels)
+	}
+	if ls.TryFails != ls.Timeouts+ls.Cancels {
+		t.Fatalf("failed lane %d != timeouts+cancels %d (aborts must count exactly once)",
+			ls.TryFails, ls.Timeouts+ls.Cancels)
+	}
+	// Four arrivals: the setup Lock, two aborted waits, one bounded grant.
+	if ls.Arrivals != 4 || ls.Acquisitions != 2 {
+		t.Fatalf("arrivals/acquisitions = %d/%d, want 4/2", ls.Arrivals, ls.Acquisitions)
+	}
+}
+
+// TestRWLockCancel covers both sides of the adaptive RW lock's bounded
+// acquisition: abort behind a holder, acquire when free, clean state after.
+func TestRWLockCancel(t *testing.T) {
+	l := NewRW(&RWConfig{Monitor: newTestMonitor()})
+	l.Lock()
+	res := make(chan bool)
+	go func() { res <- l.RLockCancel(deadlineIn(10 * time.Millisecond)) }()
+	if <-res {
+		t.Fatal("read share granted while a writer held")
+	}
+	go func() { res <- l.LockCancel(deadlineIn(10 * time.Millisecond)) }()
+	if <-res {
+		t.Fatal("write lock granted while held")
+	}
+	l.Unlock()
+	if !l.RLockCancel(expiredCancel()) {
+		t.Fatal("uncontended RLockCancel failed")
+	}
+	l.RUnlock()
+	if !l.LockCancel(expiredCancel()) {
+		t.Fatal("uncontended LockCancel failed")
+	}
+	l.Unlock()
+	l.RLock()
+	l.RUnlock()
+}

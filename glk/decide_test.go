@@ -94,14 +94,15 @@ func TestDecideProperties(t *testing.T) {
 		default:
 			return false
 		}
-		cfg := l.cfg
-		if cur != ModeMutex && avg >= cfg.downThreshold && avg <= cfg.upThreshold && got != cur {
+		down := float64(l.cfg.downThreshold)
+		up := float64(l.cfg.upThreshold)
+		if cur != ModeMutex && avg >= down && avg <= up && got != cur {
 			return false // hysteresis band violated
 		}
-		if avg > cfg.upThreshold && got == ModeTicket {
+		if avg > up && got == ModeTicket {
 			return false
 		}
-		if avg < cfg.downThreshold && got == ModeMCS {
+		if avg < down && got == ModeMCS {
 			return false
 		}
 		if got == ModeMutex {

@@ -237,18 +237,21 @@ type lockShared struct {
 // lockConfig is the stored form of a Config: the fields consulted after
 // construction, compacted (periods as 32-bit countdown reload values, the
 // EMA weight folded into the EMA itself, Stats hoisted to the shared
-// section). It lives on the holder lines because only the holder — inside
-// tryAdapt and decide — reads it.
+// section, thresholds narrowed to float32 — they are human-chosen numbers
+// like 3.0 compared against a smoothed average, where single precision is
+// indistinguishable, and the 12 bytes bought keep the holder section inside
+// its two lines after the glsx abort counters). It lives on the holder
+// lines because only the holder — inside tryAdapt and decide — reads it.
 type lockConfig struct {
-	samplePeriod         uint32 // sampleIn reload value, in critical sections
-	adaptSamples         uint32 // adaptIn reload value, in samples
-	upThreshold          float64
-	downThreshold        float64
-	mutexQueueFloor      float64
-	monitor              *sysmon.Monitor
-	onTransition         func(from, to Mode, reason string)
+	samplePeriod         uint32  // sampleIn reload value, in critical sections
+	adaptSamples         uint32  // adaptIn reload value, in samples
+	upThreshold          float32
+	downThreshold        float32
+	mutexQueueFloor      float32
 	disableAdaptation    bool
 	sampleLowLevelQueues bool
+	monitor              *sysmon.Monitor
+	onTransition         func(from, to Mode, reason string)
 }
 
 // lockHolder is the holder-only section: statistics written every critical
@@ -257,20 +260,27 @@ type lockConfig struct {
 // updates are safe because the low-level lock orders them — except
 // transitions, which outside readers poll.
 type lockHolder struct {
-	numAcquired  uint64        // completed critical sections
-	queueTotal   uint64        // sum of sampled queue lengths (paper's counter)
-	queueEMA     emastats.EMA  // moving average of queue samples
-	transitions  atomic.Uint64 // mode changes, for observability
+	numAcquired uint64       // completed critical sections
+	queueTotal  uint64       // sum of sampled queue lengths (paper's counter)
+	queueEMA    emastats.EMA // moving average of queue samples
+	// transitions and aborts are the two atomics on the holder lines:
+	// transitions because outside readers poll it, aborts because its
+	// writers are departing waiters, not the holder. Both are rare events
+	// (32 bits suffice), and an aborter's write to the holder line is the
+	// price of not spending a fourth line on it.
+	transitions  atomic.Uint32 // mode changes, for observability
+	aborts       atomic.Uint32 // abandoned acquisitions, cumulative (see abortDepart)
 	presentToken uint64        // holder's stripe token, repaid in Unlock
 	sampleIn     uint32        // critical sections until the next queue sample
 	adaptIn      uint32        // samples until the next adaptation decision
 	acquiredMode Mode          // which low-level lock the current holder took
 	// The deflation bookkeeping is deliberately byte-sized: it shares the
-	// alignment hole before cfg, keeping the holder section at exactly two
+	// alignment hole before cfg, keeping the holder section inside two
 	// lines (TestLockFootprint).
 	idlePeriods uint8  // consecutive adaptation periods with max queue ≤ 1
 	periodMaxQ  uint8  // max sampled queue this period, clamped at 255
 	deflations  uint16 // presence-counter deflations, for observability
+	lastAborts  uint32 // aborts value at the last sample, for the delta signal
 	cfg         lockConfig
 }
 
@@ -303,9 +313,12 @@ type Lock struct {
 	lockShared
 	_ [(pad.CacheLineSize - unsafe.Sizeof(lockShared{})%pad.CacheLineSize) % pad.CacheLineSize]byte
 	lockHolder
-	// No trailing pad: lockHolder fills its two lines exactly (a zero-length
-	// trailing array would itself add padding); TestLockFootprint pins the
-	// whole-lines invariant.
+	// Trailing pad rounds the holder section up to its two full lines. If
+	// lockHolder ever grows back to an exact multiple of the line size,
+	// delete this field rather than leaving a zero-length trailing array (a
+	// zero-size final field would itself add padding); TestLockFootprint
+	// pins the whole-lines invariant either way.
+	_ [(pad.CacheLineSize - unsafe.Sizeof(lockHolder{})%pad.CacheLineSize) % pad.CacheLineSize]byte
 }
 
 var _ locks.Lock = (*Lock)(nil)
@@ -326,9 +339,9 @@ func New(cfg *Config) *Lock {
 	l.cfg = lockConfig{
 		samplePeriod:         uint32(c.SamplePeriod),
 		adaptSamples:         uint32(c.AdaptPeriod / c.SamplePeriod),
-		upThreshold:          c.UpThreshold,
-		downThreshold:        c.DownThreshold,
-		mutexQueueFloor:      c.MutexQueueFloor,
+		upThreshold:          float32(c.UpThreshold),
+		downThreshold:        float32(c.DownThreshold),
+		mutexQueueFloor:      float32(c.MutexQueueFloor),
 		monitor:              c.Monitor,
 		onTransition:         c.OnTransition,
 		disableAdaptation:    c.DisableAdaptation,
@@ -368,7 +381,11 @@ func (l *Lock) monitor() *sysmon.Monitor {
 func (l *Lock) Mode() Mode { return Mode(l.lockType.Load()) }
 
 // Transitions returns the number of mode changes performed so far.
-func (l *Lock) Transitions() uint64 { return l.transitions.Load() }
+func (l *Lock) Transitions() uint64 { return uint64(l.transitions.Load()) }
+
+// Aborts returns the number of acquisitions abandoned mid-wait (timeouts
+// and cancellations), cumulative over the lock's life.
+func (l *Lock) Aborts() uint64 { return uint64(l.aborts.Load()) }
 
 // PresenceInflated reports whether the lock has spilled its presence
 // counter to the striped form — i.e. whether it ever observed contention.
@@ -616,6 +633,19 @@ func (l *Lock) sampleAndAdapt(cur Mode) bool {
 	if q < 0 {
 		q = 0
 	}
+	// Fold aborts since the last sample into the queue signal: a waiter
+	// that gave up was queued goroutines the instantaneous sample cannot
+	// see anymore, and a timeout storm is exactly the contention regime the
+	// mcs/mutex modes exist for. The clamp keeps one pathological burst
+	// from saturating the EMA for many periods.
+	if ab := l.aborts.Load(); ab != l.lastAborts {
+		delta := ab - l.lastAborts
+		l.lastAborts = ab
+		if delta > 64 {
+			delta = 64
+		}
+		q += int(delta)
+	}
 	if q >= inflateQueueLen {
 		// First observed contention: spill the presence counter off the
 		// shared line before the contenders keep hammering it. Inflate is
@@ -697,7 +727,7 @@ func (l *Lock) decide(cur Mode) (Mode, string) {
 		// Contended locks must block; near-idle locks stay in ticket mode
 		// "in order to complete these critical sections as fast as
 		// possible" (paper §3).
-		if avg >= l.cfg.mutexQueueFloor {
+		if avg >= float64(l.cfg.mutexQueueFloor) {
 			return ModeMutex, fmt.Sprintf("multiprogramming (avg queue %.2f)", avg)
 		}
 		if cur != ModeTicket {
@@ -707,9 +737,9 @@ func (l *Lock) decide(cur Mode) (Mode, string) {
 	}
 
 	switch {
-	case avg > l.cfg.upThreshold:
+	case avg > float64(l.cfg.upThreshold):
 		return ModeMCS, fmt.Sprintf("avg queue %.2f > %.2f", avg, l.cfg.upThreshold)
-	case avg < l.cfg.downThreshold:
+	case avg < float64(l.cfg.downThreshold):
 		return ModeTicket, fmt.Sprintf("avg queue %.2f < %.2f", avg, l.cfg.downThreshold)
 	default:
 		// Inside the hysteresis band: leaving mutex needs a decision even
@@ -728,6 +758,7 @@ type Stats struct {
 	QueueEMA    float64 // smoothed queue length
 	QueueTotal  uint64  // paper's queue_total counter
 	Transitions uint64
+	Aborts      uint64 // acquisitions abandoned mid-wait (timeouts + cancels)
 	Deflations  uint64 // presence-counter spills folded back after idling
 }
 
@@ -739,7 +770,8 @@ func (l *Lock) Stats() Stats {
 		Acquired:    l.numAcquired,
 		QueueEMA:    l.queueEMA.Value(),
 		QueueTotal:  l.queueTotal,
-		Transitions: l.transitions.Load(),
+		Transitions: uint64(l.transitions.Load()),
+		Aborts:      uint64(l.aborts.Load()),
 		Deflations:  uint64(l.deflations),
 	}
 }

@@ -251,7 +251,7 @@ type rwShared struct {
 	wmu         locks.TicketCore       // native: writer↔writer exclusion, FIFO
 	stats       *telemetry.LockStats   // telemetry hooks, or nil
 	subs        atomic.Pointer[rwSubs] // delegate locks; nil until first needed
-	transitions atomic.Uint64          // mode changes, polled by outside readers
+	transitions atomic.Uint32          // mode changes, polled by outside readers (32-bit: rare, dwell-gated)
 	starve      atomic.Uint32          // set by a bypassed reader, consumed at Unlock
 }
 
@@ -415,7 +415,7 @@ func (l *RWLock) ensureSub(f rwFamily) {
 func (l *RWLock) RWMode() RWMode { return RWMode(l.rwmode.Load()) }
 
 // Transitions returns the number of mode changes performed so far.
-func (l *RWLock) Transitions() uint64 { return l.transitions.Load() }
+func (l *RWLock) Transitions() uint64 { return uint64(l.transitions.Load()) }
 
 // ReadersInflated reports whether the native reader counter is currently
 // striped.
@@ -702,51 +702,36 @@ func (l *RWLock) tryRLockNative(tok uint64) (ok, decided bool) {
 // TryRLock attempts to acquire a read share without waiting.
 func (l *RWLock) TryRLock() bool {
 	tok := stripe.Self()
-	if l.stats != nil {
-		return l.tryRLockInstrumented(tok)
+	if l.stats == nil {
+		return l.tryRLockLow(tok)
 	}
-	for {
-		f := RWMode(l.rwmode.Load()).family()
-		if f == rwFamNative {
-			if ok, decided := l.tryRLockNative(tok); decided {
-				return ok
-			}
-			continue
-		}
-		d := l.delegate(f)
-		if !d.TryRLock() {
-			return false
-		}
-		if RWMode(l.rwmode.Load()).family() == f {
-			return true
-		}
-		d.RUnlock()
+	a := l.stats.RArrive(tok)
+	if l.tryRLockLow(tok) {
+		a.RAcquired(false)
+		return true
 	}
+	a.RFailed()
+	return false
 }
 
-// tryRLockInstrumented is TryRLock's telemetry twin.
-func (l *RWLock) tryRLockInstrumented(tok uint64) bool {
-	a := l.stats.RArrive(tok)
+// tryRLockLow is TryRLock without instrumentation: the family-dispatch loop
+// over the native try and the delegates. It only re-loops on a family move
+// observed mid-try, so it never waits. RLockCancel's polling also drives
+// it, which is why it is factored out of TryRLock rather than inlined.
+func (l *RWLock) tryRLockLow(tok uint64) bool {
 	for {
 		f := RWMode(l.rwmode.Load()).family()
 		if f == rwFamNative {
 			if ok, decided := l.tryRLockNative(tok); decided {
-				if ok {
-					a.RAcquired(false)
-				} else {
-					a.RFailed()
-				}
 				return ok
 			}
 			continue
 		}
 		d := l.delegate(f)
 		if !d.TryRLock() {
-			a.RFailed()
 			return false
 		}
 		if RWMode(l.rwmode.Load()).family() == f {
-			a.RAcquired(false)
 			return true
 		}
 		d.RUnlock()
@@ -859,15 +844,27 @@ func (l *RWLock) drain(tok uint64, timed bool) (met bool) {
 // everything after the check runs as the genuine holder.
 func (l *RWLock) TryLock() bool {
 	tok := stripe.Self()
-	var a telemetry.Acq
-	if l.stats != nil {
-		a = l.stats.Arrive(tok)
+	if l.stats == nil {
+		return l.tryLockLow(tok)
 	}
+	a := l.stats.Arrive(tok)
+	if l.tryLockLow(tok) {
+		a.Acquired(false)
+		return true
+	}
+	a.Failed()
+	return false
+}
+
+// tryLockLow is TryLock without instrumentation, factored out so
+// LockCancel's polling can drive the same protocol without inflating the
+// arrival lanes. It only re-loops on a family move observed mid-try.
+func (l *RWLock) tryLockLow(tok uint64) bool {
 	for {
 		f := RWMode(l.rwmode.Load()).family()
 		if f == rwFamNative {
 			if !l.wmu.TryLock() {
-				break
+				return false
 			}
 			if RWMode(l.rwmode.Load()).family() != rwFamNative {
 				l.wmu.Unlock() // stale era: leave before touching anything
@@ -880,33 +877,23 @@ func (l *RWLock) TryLock() bool {
 				if !l.cfg.disableAdaptation {
 					l.inflateReaders("readers overlap writers")
 				}
-				break
+				return false
 			}
 			l.wfam = uint8(rwFamNative)
 			l.wtok = tok
-			if l.stats != nil {
-				a.Acquired(false)
-			}
 			return true
 		}
 		d := l.delegate(f)
 		if !d.TryLock() {
-			break
+			return false
 		}
 		if RWMode(l.rwmode.Load()).family() == f {
 			l.wfam = uint8(f)
 			l.wtok = tok
-			if l.stats != nil {
-				a.Acquired(false)
-			}
 			return true
 		}
 		d.Unlock()
 	}
-	if l.stats != nil {
-		a.Failed()
-	}
-	return false
 }
 
 // Unlock releases the write lock, running the sampled adaptation step
@@ -1058,7 +1045,7 @@ func (l *RWLock) Stats() RWStats {
 	return RWStats{
 		RWMode:      l.RWMode(),
 		Writes:      l.writes,
-		Transitions: l.transitions.Load(),
+		Transitions: uint64(l.transitions.Load()),
 		Readers:     l.Readers(),
 	}
 }

@@ -11,6 +11,8 @@ package backoff
 import (
 	"runtime"
 	"sync/atomic"
+
+	"gls/internal/xrand"
 )
 
 // pauseUnit is the length of the smallest busy pause, in dependent ALU
@@ -38,12 +40,48 @@ func Pause(n uint32) {
 // memory model.
 var pauseSink atomic.Uint64
 
+// Jitter bounds for the yield phase, in pause units. The fixed-length
+// escalation rounds end at 2^maxPauseRounds units; once waiters are in the
+// yield phase they would otherwise probe in near-lockstep — every waiter
+// wakes from Gosched, burns the same 256 units, and hits the lock word in
+// the same window, turning each release into a thundering probe-herd. The
+// decorrelated jitter spreads the probes across [jitterFloor, jitterCeil].
+const (
+	jitterFloor = 1 << (maxPauseRounds - 2) // 64 units
+	jitterCeil  = 1 << (maxPauseRounds + 2) // 1024 units
+)
+
+// jitterSeq hands out distinct seeds to spinners entering the yield phase.
+// The increment is the splitmix64 golden gamma, so consecutive seeds land
+// far apart in the generator's sequence. One shared add per contended
+// acquisition that outlasts the escalation rounds — the uncontended and
+// short-wait paths never touch it.
+var jitterSeq atomic.Uint64
+
+// JitterNext advances one decorrelated-jitter step (Exponential Backoff
+// and Jitter, the "decorrelated" variant): the next pause is uniform in
+// [jitterFloor, min(jitterCeil, 3*prev)]. Pure, so tests can pin the
+// bounds and the spread without racing a live spinner.
+func JitterNext(rng *xrand.SplitMix64, prev uint32) uint32 {
+	hi := 3 * prev
+	if hi > jitterCeil {
+		hi = jitterCeil
+	}
+	if hi <= jitterFloor {
+		return jitterFloor
+	}
+	return jitterFloor + uint32(rng.Uintn(uint64(hi-jitterFloor+1)))
+}
+
 // Spinner is a per-acquisition wait policy: escalating busy pauses first,
-// then yield-and-pause rounds. The zero value is ready to use.
+// then yield-and-pause rounds with decorrelated jitter. The zero value is
+// ready to use.
 type Spinner struct {
 	round      uint32
+	pause      uint32 // current yield-phase pause length (0 = not seeded yet)
 	singleProc bool
 	probed     bool
+	rng        xrand.SplitMix64
 }
 
 // Spin performs one wait step and returns. Callers invoke it between probes
@@ -64,7 +102,12 @@ func (s *Spinner) Spin() {
 		return
 	}
 	runtime.Gosched()
-	Pause(1 << maxPauseRounds)
+	if s.pause == 0 {
+		s.rng = xrand.Seeded(jitterSeq.Add(0x9e3779b97f4a7c15))
+		s.pause = 1 << maxPauseRounds
+	}
+	s.pause = JitterNext(&s.rng, s.pause)
+	Pause(s.pause)
 	if s.round < 1<<30 {
 		s.round++
 	}
@@ -74,8 +117,10 @@ func (s *Spinner) Spin() {
 // lock uses it to implement proportional backoff on top.
 func (s *Spinner) Rounds() uint32 { return s.round }
 
-// Reset rewinds the policy for reuse on a new acquisition.
-func (s *Spinner) Reset() { s.round = 0 }
+// Reset rewinds the policy for reuse on a new acquisition. The jitter seed
+// is kept: the next acquisition re-enters the yield phase on a fresh
+// decorrelated sequence from the escalation baseline.
+func (s *Spinner) Reset() { s.round, s.pause = 0, 0 }
 
 // Yield unconditionally gives up the processor once. Blocking locks use it
 // during their pre-park spin phase.

@@ -3,6 +3,8 @@ package backoff
 import (
 	"testing"
 	"time"
+
+	"gls/internal/xrand"
 )
 
 func TestSpinnerProgresses(t *testing.T) {
@@ -49,6 +51,56 @@ func TestPauseBounded(t *testing.T) {
 	Pause(1 << maxPauseRounds)
 	if time.Since(start) > 100*time.Millisecond {
 		t.Fatal("maximum pause burned more than 100ms")
+	}
+}
+
+func TestJitterNextBounds(t *testing.T) {
+	rng := xrand.NewSplitMix64(42)
+	prev := uint32(1 << maxPauseRounds)
+	seen := make(map[uint32]bool)
+	for i := 0; i < 10_000; i++ {
+		prev = JitterNext(rng, prev)
+		if prev < jitterFloor || prev > jitterCeil {
+			t.Fatalf("jitter step %d = %d, want within [%d, %d]", i, prev, jitterFloor, jitterCeil)
+		}
+		seen[prev] = true
+	}
+	// Decorrelated jitter must actually spread: thousands of steps landing
+	// on a handful of values would mean the waiters still probe in phase.
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct pause lengths over 10k steps", len(seen))
+	}
+}
+
+// TestJitterNextDeterministic pins that equal seeds replay equal sequences
+// — the property the chaos harness relies on for reproducible runs.
+func TestJitterNextDeterministic(t *testing.T) {
+	a, b := xrand.NewSplitMix64(7), xrand.NewSplitMix64(7)
+	pa, pb := uint32(256), uint32(256)
+	for i := 0; i < 1000; i++ {
+		pa, pb = JitterNext(a, pa), JitterNext(b, pb)
+		if pa != pb {
+			t.Fatalf("sequences diverged at step %d: %d vs %d", i, pa, pb)
+		}
+	}
+}
+
+// TestJitterNextRecoversFromFloor pins the lower edge: once the previous
+// pause collapses to the floor, 3*prev still exceeds it, so the sequence
+// can climb back instead of latching at the minimum.
+func TestJitterNextRecoversFromFloor(t *testing.T) {
+	rng := xrand.NewSplitMix64(3)
+	grew := false
+	prev := uint32(jitterFloor)
+	for i := 0; i < 100; i++ {
+		prev = JitterNext(rng, prev)
+		if prev > jitterFloor {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		t.Fatal("jitter latched at the floor")
 	}
 }
 

@@ -1,0 +1,168 @@
+// Package chaos is a deterministic fault injector for the lock stack's
+// robustness harnesses (lockstress -bug holderstall|abortstorm).
+//
+// The injector plants three fault shapes at lock-operation boundaries —
+// busy delays, forced preemptions, and bounded stalls — plus two holder
+// faults that no schedule perturbation can produce: a holder that never
+// unlocks, and a holder that panics mid-section. Every decision is drawn
+// from a seeded splitmix64 stream, one independent stream per worker, so a
+// failing run replays exactly from its seed: same seed, same worker count,
+// same faults at the same boundaries.
+//
+// The injector perturbs *timing only*. It never touches lock state, so any
+// invariant violation it surfaces — a lost grant, a mutual-exclusion break,
+// a deadline overshoot — is the lock's bug, not the harness's.
+package chaos
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gls/internal/cycles"
+	"gls/internal/xrand"
+)
+
+// Op names a lock-operation boundary a Worker can inject at.
+type Op uint8
+
+// The injection points: immediately before an acquisition attempt, inside
+// the critical section, and immediately before the release. Post-release
+// faults are indistinguishable from pre-acquire faults of the next
+// operation, so there is no OpPostUnlock.
+const (
+	OpPreLock Op = iota
+	OpInSection
+	OpPreUnlock
+	opCount
+)
+
+// String names the boundary for harness output.
+func (o Op) String() string {
+	switch o {
+	case OpPreLock:
+		return "pre-lock"
+	case OpInSection:
+		return "in-section"
+	case OpPreUnlock:
+		return "pre-unlock"
+	default:
+		return "op(?)"
+	}
+}
+
+// Config sets the per-boundary fault mix. Probabilities are evaluated
+// independently at every Point call, in the order delay, preempt, stall —
+// a single boundary can draw several faults.
+type Config struct {
+	// Seed roots every worker stream. Two injectors with equal seeds and
+	// equal worker ids make identical decisions.
+	Seed uint64
+	// DelayProb is the probability of a busy delay of up to DelayCycles
+	// dependent cycles — the cache-miss/interrupt stand-in that stretches
+	// the window between two lock-word accesses.
+	DelayProb   float64
+	DelayCycles uint64
+	// PreemptProb is the probability of a forced runtime.Gosched — the
+	// involuntary context switch that parks a waiter mid-protocol.
+	PreemptProb float64
+	// StallProb is the probability of a full stop for StallDur — the
+	// descheduled-holder shape the adaptive policies exist to survive.
+	StallProb float64
+	StallDur  time.Duration
+}
+
+// Injector hands out deterministic per-worker fault streams and tallies
+// what was injected, per boundary.
+type Injector struct {
+	cfg    Config
+	counts [opCount]atomic.Uint64
+}
+
+// New returns an injector with the given fault mix.
+func New(cfg Config) *Injector {
+	if cfg.DelayCycles == 0 {
+		cfg.DelayCycles = 4096
+	}
+	if cfg.StallDur == 0 {
+		cfg.StallDur = time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Injected reports how many faults landed at the given boundary, across
+// all workers.
+func (in *Injector) Injected(op Op) uint64 { return in.counts[op].Load() }
+
+// Worker returns worker id's fault stream. Streams are independent and
+// deterministic: the id is folded into the seed through the splitmix64
+// finalizer, so adjacent ids do not produce correlated decisions.
+func (in *Injector) Worker(id uint64) *Worker {
+	mix := xrand.NewSplitMix64(in.cfg.Seed ^ (id * 0x9e3779b97f4a7c15))
+	return &Worker{inj: in, rng: xrand.Seeded(mix.Next())}
+}
+
+// Worker is one goroutine's fault stream. Not safe for concurrent use —
+// each goroutine takes its own from Injector.Worker.
+type Worker struct {
+	inj *Injector
+	rng xrand.SplitMix64
+}
+
+// Point possibly injects faults at boundary op, per the injector's config.
+// Call it where the harness's lock operations begin and end; it costs two
+// or three PRNG draws when no fault fires.
+func (w *Worker) Point(op Op) {
+	cfg := &w.inj.cfg
+	hit := false
+	if cfg.DelayProb > 0 && w.rng.Bool(cfg.DelayProb) {
+		cycles.Wait(1 + w.rng.Uintn(cfg.DelayCycles))
+		hit = true
+	}
+	if cfg.PreemptProb > 0 && w.rng.Bool(cfg.PreemptProb) {
+		runtime.Gosched()
+		hit = true
+	}
+	if cfg.StallProb > 0 && w.rng.Bool(cfg.StallProb) {
+		time.Sleep(cfg.StallDur)
+		hit = true
+	}
+	if hit {
+		w.inj.counts[op].Add(1)
+	}
+}
+
+// Locker is the minimal surface the holder faults drive; gls services are
+// adapted per key (the harness's serviceLock), raw locks satisfy it
+// directly.
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+// StallHolder acquires l and holds it until release fires, then unlocks —
+// the never-unlocking holder, bounded only by the harness's own cleanup.
+// held is closed once the lock is taken so the harness can start the
+// waiters it wants stuck behind the stall.
+func StallHolder(l Locker, held chan<- struct{}, release <-chan struct{}) {
+	l.Lock()
+	if held != nil {
+		close(held)
+	}
+	<-release
+	l.Unlock()
+}
+
+// SectionPanic is the value PanicSection panics with; harnesses recover it
+// by identity to tell an injected panic from a genuine one.
+type SectionPanic struct{}
+
+// Error makes the sentinel self-describing in an unrecovered crash dump.
+func (SectionPanic) Error() string { return "chaos: injected critical-section panic" }
+
+// PanicSection panics with SectionPanic — the holder that dies mid-section.
+// Run it inside a panic-safe wrapper (gls WithLock) to prove the lock is
+// released on the unwind.
+func PanicSection() {
+	panic(SectionPanic{})
+}

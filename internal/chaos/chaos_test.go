@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWorkerStreamsDeterministic pins the replay property: equal seeds and
+// ids draw identical fault decisions, and distinct ids draw independent
+// ones.
+func TestWorkerStreamsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 99, DelayProb: 0.5, PreemptProb: 0.25}
+	decisions := func(id uint64) []uint64 {
+		in := New(cfg)
+		w := in.Worker(id)
+		var out []uint64
+		for i := 0; i < 200; i++ {
+			w.Point(OpPreLock)
+			out = append(out, in.Injected(OpPreLock))
+		}
+		return out
+	}
+	a, b := decisions(3), decisions(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed+id diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := decisions(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct worker ids drew identical fault streams")
+	}
+}
+
+// TestPointCountsPerBoundary checks faults land in the right tally and that
+// a zero config injects nothing.
+func TestPointCountsPerBoundary(t *testing.T) {
+	in := New(Config{Seed: 1, DelayProb: 1, DelayCycles: 16})
+	w := in.Worker(0)
+	for i := 0; i < 10; i++ {
+		w.Point(OpInSection)
+	}
+	if got := in.Injected(OpInSection); got != 10 {
+		t.Fatalf("Injected(in-section) = %d, want 10 (prob 1)", got)
+	}
+	if got := in.Injected(OpPreLock); got != 0 {
+		t.Fatalf("Injected(pre-lock) = %d, want 0", got)
+	}
+	quiet := New(Config{Seed: 1})
+	qw := quiet.Worker(0)
+	for i := 0; i < 100; i++ {
+		qw.Point(OpPreLock)
+	}
+	if got := quiet.Injected(OpPreLock); got != 0 {
+		t.Fatalf("zero config injected %d faults", got)
+	}
+}
+
+// gate is a minimal Locker for the holder-fault tests.
+type gate struct{ mu sync.Mutex }
+
+func (g *gate) Lock()   { g.mu.Lock() }
+func (g *gate) Unlock() { g.mu.Unlock() }
+
+// TestStallHolder checks the holder blocks competitors until released and
+// cleans up after.
+func TestStallHolder(t *testing.T) {
+	var g gate
+	held := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		StallHolder(&g, held, release)
+		close(done)
+	}()
+	<-held
+	if g.mu.TryLock() {
+		t.Fatal("lock free while the stall holder holds it")
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stall holder never released")
+	}
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+// TestPanicSectionSentinel checks the sentinel is recoverable by type.
+func TestPanicSectionSentinel(t *testing.T) {
+	defer func() {
+		r := recover()
+		if _, ok := r.(SectionPanic); !ok {
+			t.Fatalf("recovered %v, want SectionPanic", r)
+		}
+	}()
+	PanicSection()
+}

@@ -26,6 +26,13 @@ func NewSplitMix64(seed uint64) *SplitMix64 {
 	return &SplitMix64{state: seed}
 }
 
+// Seeded returns a generator seeded with seed, by value — for embedding in
+// per-acquisition state (backoff.Spinner) where a heap allocation per wait
+// would defeat the point of spinning.
+func Seeded(seed uint64) SplitMix64 {
+	return SplitMix64{state: seed}
+}
+
 // Next returns the next 64 random bits.
 func (s *SplitMix64) Next() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -2,6 +2,7 @@ package locks
 
 import (
 	"sync/atomic"
+	"time"
 
 	"gls/internal/backoff"
 	"gls/internal/pad"
@@ -40,8 +41,9 @@ type MutexLock struct {
 }
 
 var (
-	_ Lock         = (*MutexLock)(nil)
-	_ QueueSampler = (*MutexLock)(nil)
+	_ Lock           = (*MutexLock)(nil)
+	_ CancelableLock = (*MutexLock)(nil)
+	_ QueueSampler   = (*MutexLock)(nil)
 )
 
 // NewMutex returns an unlocked blocking lock.
@@ -82,6 +84,113 @@ func (l *MutexLock) Lock() {
 	<-w.wake
 	// Direct handoff: the releaser left state == 1 on our behalf.
 	l.nwait.Add(-1)
+}
+
+// LockCancel acquires l, abandoning the attempt when c fires. Unlike the
+// spinlocks, a parked mutex waiter does not poll: it blocks on a select of
+// its wake channel, the done channel and a deadline timer, so an aborted
+// wait costs no CPU. On abort the waiter unlinks itself from the queue
+// under qlock; if an Unlock dequeued it first, the handoff is already in
+// flight and the lock is ours (grant beats abort).
+func (l *MutexLock) LockCancel(c *Cancel) bool {
+	if c.Never() {
+		l.Lock()
+		return true
+	}
+	// Busy-waiting phase, with abort polling: nothing is enqueued yet, so
+	// giving up here is free.
+	for i := 0; i < spinBeforePark; i++ {
+		if l.state.CompareAndSwap(0, 1) {
+			return true
+		}
+		if c.Aborted() {
+			return false
+		}
+		if i >= spinBeforePark/2 {
+			backoff.Yield()
+		} else {
+			backoff.Pause(1 << uint(i%6))
+		}
+	}
+	// Parking phase, as in Lock.
+	w := &mutexWaiter{wake: make(chan struct{}, 1)}
+	l.nwait.Add(1)
+	l.qlock.Lock()
+	if l.state.CompareAndSwap(0, 1) {
+		l.qlock.Unlock()
+		l.nwait.Add(-1)
+		return true
+	}
+	if l.tail == nil {
+		l.head = w
+	} else {
+		l.tail.next = w
+	}
+	l.tail = w
+	l.qlock.Unlock()
+
+	var timeC <-chan time.Time
+	if !c.Deadline.IsZero() {
+		d := time.Until(c.Deadline)
+		if d < 0 {
+			d = 0
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeC = timer.C
+	}
+	select {
+	case <-w.wake:
+		// Direct handoff: the releaser left state == 1 on our behalf.
+		l.nwait.Add(-1)
+		return true
+	case <-c.Done: // nil when no done channel: never fires
+		// Deadline-first, matching Cancel.Aborted: a context's own timer
+		// closes Done at the deadline, and select picks randomly between two
+		// ready cases — without this check that race would misclassify a
+		// timeout as a cancellation.
+		if !c.Deadline.IsZero() && !time.Now().Before(c.Deadline) {
+			c.cause = causeTimeout
+		} else {
+			c.cause = causeCancel
+		}
+	case <-timeC:
+		c.cause = causeTimeout
+	}
+	// Aborted while parked. If we are still queued, unlink and depart; an
+	// empty removal means an Unlock already dequeued us and its wake is in
+	// flight — receive it and keep the lock.
+	l.qlock.Lock()
+	if l.removeWaiter(w) {
+		l.qlock.Unlock()
+		l.nwait.Add(-1)
+		return false
+	}
+	l.qlock.Unlock()
+	<-w.wake
+	l.nwait.Add(-1)
+	return true
+}
+
+// removeWaiter unlinks w from the FIFO queue, reporting whether it was
+// still queued. Caller holds qlock.
+func (l *MutexLock) removeWaiter(w *mutexWaiter) bool {
+	var prev *mutexWaiter
+	for cur := l.head; cur != nil; prev, cur = cur, cur.next {
+		if cur != w {
+			continue
+		}
+		if prev == nil {
+			l.head = cur.next
+		} else {
+			prev.next = cur.next
+		}
+		if l.tail == cur {
+			l.tail = prev
+		}
+		return true
+	}
+	return false
 }
 
 // TryLock attempts a single atomic acquisition.

@@ -66,7 +66,7 @@ type RWStriped struct {
 	maxBypass uint32         // reader escalation bound; 0 = unbounded (see SetMaxBypass)
 	bypasses  atomic.Uint64  // escalations taken, for tests and reports
 	wmu       TicketCore     // writer↔writer exclusion, FIFO
-	_         [pad.CacheLineSize - unsafe.Sizeof(stripe.Counter{}) - 4 - 4 - 8 - 8]byte
+	_         [pad.CacheLineSize - unsafe.Sizeof(stripe.Counter{}) - 4 - 4 - 8 - unsafe.Sizeof(TicketCore{})]byte
 }
 
 var _ RWLock = (*RWStriped)(nil)

@@ -57,6 +57,29 @@ func (w *instrumentedLock) TryLock() bool {
 	return true
 }
 
+// LockCancel makes the wrapper itself cancellable, so locks.LockWithCancel
+// on an instrumented lock reaches the inner algorithm's native abort path
+// instead of polling the wrapper's TryLock — which would count one arrival
+// per poll. One Arrive, then exactly one of Acquired or Aborted.
+func (w *instrumentedLock) LockCancel(c *locks.Cancel) bool {
+	if c.Never() {
+		w.Lock()
+		return true
+	}
+	tok := stripe.Self()
+	a := w.st.Arrive(tok)
+	if w.inner.TryLock() {
+		a.Acquired(false)
+		return true
+	}
+	if !locks.LockWithCancel(w.inner, c) {
+		a.Aborted(c.TimedOut())
+		return false
+	}
+	a.Acquired(true)
+	return true
+}
+
 func (w *instrumentedLock) Unlock() {
 	// Record while still holding: the hold timer is holder-only state.
 	// stripe.Self() may differ from the token used at Lock (different call
@@ -167,4 +190,48 @@ func (w *instrumentedRWLock) TryRLock() bool {
 func (w *instrumentedRWLock) RUnlock() {
 	w.st.RRelease(stripe.Self())
 	w.inner.RUnlock()
+}
+
+// LockCancel is the write-side cancellable acquisition; see
+// instrumentedLock.LockCancel for the one-Arrive discipline.
+func (w *instrumentedRWLock) LockCancel(c *locks.Cancel) bool {
+	if c.Never() {
+		w.Lock()
+		return true
+	}
+	tok := stripe.Self()
+	a := w.st.Arrive(tok)
+	if w.inner.TryLock() {
+		a.Acquired(false)
+		return true
+	}
+	if !locks.LockWithCancel(w.inner, c) {
+		a.Aborted(c.TimedOut())
+		return false
+	}
+	a.Acquired(true)
+	return true
+}
+
+// RLockCancel is the read-side twin: one RArrive, then RAcquired or
+// RAborted. The contended classification mirrors RLock — a writer probe
+// where the lock offers one, else trust the failed try.
+func (w *instrumentedRWLock) RLockCancel(c *locks.Cancel) bool {
+	if c.Never() {
+		w.RLock()
+		return true
+	}
+	tok := stripe.Self()
+	a := w.st.RArrive(tok)
+	if w.inner.TryRLock() {
+		a.RAcquired(false)
+		return true
+	}
+	contended := w.writeLocked == nil || w.writeLocked()
+	if !locks.RLockWithCancel(w.inner, c) {
+		a.RAborted(c.TimedOut())
+		return false
+	}
+	a.RAcquired(contended)
+	return true
 }

@@ -26,6 +26,15 @@ type LockSnapshot struct {
 	Contended    uint64 `json:"contended"`
 	TryFails     uint64 `json:"trylock_failures"`
 
+	// Timeouts and Cancels split the aborted acquisitions (waiters whose
+	// deadline or context fired mid-wait) by cause. Every abort is also one
+	// TryFails — the failed lane counts each non-acquisition exactly once —
+	// so these are a breakdown, not an addition: TryFails ≥ Timeouts +
+	// Cancels, with the remainder being genuine TryLock failures. Aborts
+	// from both sides of an RW lock land here (the split is per lock).
+	Timeouts uint64 `json:"timeouts,omitempty"`
+	Cancels  uint64 `json:"cancels,omitempty"`
+
 	Samples    uint64 `json:"samples"`
 	WaitNanos  uint64 `json:"wait_ns_total"`
 	HoldNanos  uint64 `json:"hold_ns_total"`
@@ -157,6 +166,8 @@ type RetiredSnapshot struct {
 	Acquisitions uint64 `json:"acquisitions"`
 	Contended    uint64 `json:"contended"`
 	TryFails     uint64 `json:"trylock_failures"`
+	Timeouts     uint64 `json:"timeouts,omitempty"`
+	Cancels      uint64 `json:"cancels,omitempty"`
 	Transitions  uint64 `json:"transitions"`
 
 	// Read-side totals of retired RW locks.
@@ -214,6 +225,8 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			Acquisitions:  s.Retired.Acquisitions - prev.Retired.Acquisitions,
 			Contended:     s.Retired.Contended - prev.Retired.Contended,
 			TryFails:      s.Retired.TryFails - prev.Retired.TryFails,
+			Timeouts:      s.Retired.Timeouts - prev.Retired.Timeouts,
+			Cancels:       s.Retired.Cancels - prev.Retired.Cancels,
 			Transitions:   s.Retired.Transitions - prev.Retired.Transitions,
 			RArrivals:     s.Retired.RArrivals - prev.Retired.RArrivals,
 			RAcquisitions: s.Retired.RAcquisitions - prev.Retired.RAcquisitions,
@@ -239,6 +252,8 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			cur.Arrivals = sub0(cur.Arrivals, p.Arrivals)
 			cur.Contended = sub0(cur.Contended, p.Contended)
 			cur.TryFails = sub0(cur.TryFails, p.TryFails)
+			cur.Timeouts = sub0(cur.Timeouts, p.Timeouts)
+			cur.Cancels = sub0(cur.Cancels, p.Cancels)
 			cur.Acquisitions = sub0(cur.Arrivals, cur.TryFails)
 			cur.Samples = sub0(cur.Samples, p.Samples)
 			cur.WaitNanos = sub0(cur.WaitNanos, p.WaitNanos)
@@ -270,6 +285,8 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			out.Retired.Acquisitions = sub0(out.Retired.Acquisitions, p.Acquisitions)
 			out.Retired.Contended = sub0(out.Retired.Contended, p.Contended)
 			out.Retired.TryFails = sub0(out.Retired.TryFails, p.TryFails)
+			out.Retired.Timeouts = sub0(out.Retired.Timeouts, p.Timeouts)
+			out.Retired.Cancels = sub0(out.Retired.Cancels, p.Cancels)
 			out.Retired.RArrivals = sub0(out.Retired.RArrivals, p.RArrivals)
 			out.Retired.RAcquisitions = sub0(out.Retired.RAcquisitions, p.RAcquisitions)
 			out.Retired.RContended = sub0(out.Retired.RContended, p.RContended)
@@ -320,6 +337,16 @@ func (s *Snapshot) rtotals() (racq, rcontended uint64) {
 	return
 }
 
+// aborttotals sums the live abort-cause counters; both zero when no
+// deadline-carrying acquisition ever gave up.
+func (s *Snapshot) aborttotals() (timeouts, cancels uint64) {
+	for i := range s.Locks {
+		timeouts += s.Locks[i].Timeouts
+		cancels += s.Locks[i].Cancels
+	}
+	return
+}
+
 // WriteText writes the /proc/lock_stat-style report: a totals header, then
 // one line per lock, most contended first. Latencies are the sampled means;
 // "cont" is the fraction of acquisitions that found the lock held.
@@ -345,6 +372,12 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	if timeouts, cancels := s.aborttotals(); timeouts+cancels > 0 {
+		if _, err := fmt.Fprintf(w,
+			"[glstat] aborted waits: %d deadline timeouts, %d context cancels\n", timeouts, cancels); err != nil {
+			return err
+		}
+	}
 	if s.Retired.Locks > 0 {
 		if _, err := fmt.Fprintf(w, "[glstat] retired: %d locks (%d idle-evicted), %d acquisitions (%d contended), %d transitions\n",
 			s.Retired.Locks, s.Retired.Evicted, s.Retired.Acquisitions, s.Retired.Contended, s.Retired.Transitions); err != nil {
@@ -360,11 +393,17 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	}
 	for i := range s.Locks {
 		l := &s.Locks[i]
+		trail := formatTransitions(l.Transitions)
+		if l.Timeouts+l.Cancels > 0 {
+			// The abort-cause split rides the free-form trailing column so
+			// the fixed-width table stays stable for locks that never abort.
+			trail += fmt.Sprintf("  timeouts %d  cancels %d", l.Timeouts, l.Cancels)
+		}
 		if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10d %6.1f%% %9d %9s %9s %10.2f  %s\n",
 			fmt.Sprintf("%#x", l.Key), l.Label, l.Kind, l.Mode,
 			l.Acquisitions, 100*l.ContentionRatio(), l.TryFails,
 			fmtDur(l.AvgWait()), fmtDur(l.AvgHold()), l.AvgQueue(),
-			formatTransitions(l.Transitions)); err != nil {
+			trail); err != nil {
 			return err
 		}
 		if l.IsRW {

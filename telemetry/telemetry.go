@@ -169,6 +169,8 @@ type retiredTotals struct {
 	rwCounters   [stripe.LaneSlots]uint64 // read-side lanes of retired RW locks
 	rwWaitPhases uint64                   // starvation/phase counters of retired RW locks
 	rwStarved    uint64
+	timeouts     uint64 // abort cause counters of retired locks (glsx)
+	cancels      uint64
 	transitions  uint64
 }
 
@@ -263,6 +265,8 @@ func (r *Registry) foldLocked(st *LockStats, evicted bool) {
 		r.retired.rwWaitPhases += rw.waitPhases.Load()
 		r.retired.rwStarved += rw.starved.Load()
 	}
+	r.retired.timeouts += st.timeouts.Load()
+	r.retired.cancels += st.cancels.Load()
 	st.cold.Lock()
 	for _, tr := range st.transitions {
 		r.retired.transitions += tr.Count
@@ -413,7 +417,16 @@ type LockStats struct {
 	// zero when the current acquisition is untimed. Holder-only state,
 	// ordered by the lock itself (set in Acquired, consumed in Release).
 	holdStart time.Time
-	_         [(pad.CacheLineSize - unsafe.Sizeof(time.Time{})%pad.CacheLineSize) % pad.CacheLineSize]byte
+
+	// timeouts/cancels split the aborted acquisitions (glsx) by cause:
+	// deadline expiry vs done-channel cancellation. Plain shared atomics
+	// rather than lane slots — the lanes are full, and these are written
+	// only by a waiter that already waited a deadline out, where one
+	// possibly-shared add is noise (the rwExtra.waitPhases precedent). They
+	// share the holder line: both writers are rare by construction.
+	timeouts atomic.Uint64
+	cancels  atomic.Uint64
+	_        [(pad.CacheLineSize - (unsafe.Sizeof(time.Time{})+16)%pad.CacheLineSize) % pad.CacheLineSize]byte
 
 	// Cold, rarely-written introspection state.
 	cold        sync.Mutex
@@ -553,6 +566,21 @@ func (a Acq) Failed() {
 	}
 }
 
+// Aborted records an acquisition abandoned mid-wait (a cancellable Lock
+// whose deadline or done channel fired while queued). The abort lands in
+// the failed lane exactly once — an abort is a non-acquisition, so
+// Acquisitions = Arrivals − TryFails stays exact — plus the cause counter:
+// timeouts when timeout is true, cancels otherwise. Exactly one of
+// Acquired/Failed/Aborted may be called per Arrive.
+func (a Acq) Aborted(timeout bool) {
+	a.Failed()
+	if timeout {
+		a.st.timeouts.Add(1)
+	} else {
+		a.st.cancels.Add(1)
+	}
+}
+
 // Release records the holder leaving: the hold latency if this acquisition
 // was timed, and the presence decrement. Must be called by the holder while
 // it still holds the lock (the hold timer is holder-only state).
@@ -619,6 +647,19 @@ func (a Acq) RFailed() {
 	rw.lanes.Add(a.tok, rwSlotRTryFails, 1)
 	if !a.st.selfCountingReaders() {
 		rw.lanes.Add(a.tok, rwSlotRPresent, ^uint64(0))
+	}
+}
+
+// RAborted is Aborted's read-side twin: the abort lands in the reader
+// failed lane exactly once, and in the same lock-level timeouts/cancels
+// cause counters as writer-side aborts (the counters describe the lock,
+// not a side; snapshots carry both sides' failed lanes separately).
+func (a Acq) RAborted(timeout bool) {
+	a.RFailed()
+	if timeout {
+		a.st.timeouts.Add(1)
+	} else {
+		a.st.cancels.Add(1)
 	}
 }
 
@@ -698,6 +739,8 @@ func (s *LockStats) snapshot() LockSnapshot {
 		HoldNanos:  sums[slotHoldNanos],
 		QueueTotal: sums[slotQueueTotal],
 		Present:    present,
+		Timeouts:   s.timeouts.Load(),
+		Cancels:    s.cancels.Load(),
 	}
 	// Clamp like Present above: SumAll reads the slots while writers run,
 	// so a burst of Arrive+Failed pairs landing between the arrivals and
@@ -765,6 +808,8 @@ func (r *Registry) Snapshot() *Snapshot {
 			RAcquisitions: sub0(retired.rwCounters[rwSlotRArrivals], retired.rwCounters[rwSlotRTryFails]),
 			RWaitPhases:   retired.rwWaitPhases,
 			RStarved:      retired.rwStarved,
+			Timeouts:      retired.timeouts,
+			Cancels:       retired.cancels,
 			Transitions:   retired.transitions,
 		},
 	}
