@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"gls/internal/stripe"
 	"gls/telemetry"
+	"gls/telemetry/telemetryhttp"
 )
 
 // writeSnapshotFile builds a registry with real traffic and writes its
@@ -41,7 +45,7 @@ func writeSnapshotFile(t *testing.T, extraAcq int) (string, *telemetry.Registry)
 func TestReportFileText(t *testing.T) {
 	path, _ := writeSnapshotFile(t, 0)
 	var b bytes.Buffer
-	if err := reportFile(&b, path, 0, false); err != nil {
+	if err := reportFile(&b, path, 0, "text"); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -55,7 +59,7 @@ func TestReportFileText(t *testing.T) {
 func TestReportFileJSONRoundTrip(t *testing.T) {
 	path, _ := writeSnapshotFile(t, 0)
 	var b bytes.Buffer
-	if err := reportFile(&b, path, 0, true); err != nil {
+	if err := reportFile(&b, path, 0, "json"); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := telemetry.ReadJSON(&b)
@@ -88,7 +92,7 @@ func TestDiffFiles(t *testing.T) {
 	f.Close()
 
 	var b bytes.Buffer
-	if err := diffFiles(&b, oldPath, newPath, 0, true); err != nil {
+	if err := diffFiles(&b, oldPath, newPath, 0, "json"); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := telemetry.ReadJSON(&b)
@@ -110,10 +114,10 @@ func TestDiffFilesBadInput(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{broken"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := diffFiles(&bytes.Buffer{}, bad, path, 0, false); err == nil {
+	if err := diffFiles(&bytes.Buffer{}, bad, path, 0, "text"); err == nil {
 		t.Fatal("accepted corrupt old snapshot")
 	}
-	if err := reportFile(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing.json"), 0, false); err == nil {
+	if err := reportFile(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing.json"), 0, "text"); err == nil {
 		t.Fatal("accepted missing file")
 	}
 }
@@ -127,7 +131,7 @@ func TestRenderTop(t *testing.T) {
 		},
 	}
 	var b bytes.Buffer
-	if err := render(&b, snap, 1, false); err != nil {
+	if err := render(&b, snap, 1, "text"); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(b.String(), "0x2") {
@@ -166,7 +170,7 @@ func TestUnknownFieldsStillRender(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := reportFile(&out, path, 0, false); err != nil {
+	if err := reportFile(&out, path, 0, "text"); err != nil {
 		t.Fatalf("reportFile on a future snapshot: %v", err)
 	}
 	if !strings.Contains(out.String(), "hot") {
@@ -196,10 +200,154 @@ func TestRendersFairnessLanes(t *testing.T) {
 	}
 	f.Close()
 	var out bytes.Buffer
-	if err := reportFile(&out, path, 0, false); err != nil {
+	if err := reportFile(&out, path, 0, "text"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "bypass-phases 9") || !strings.Contains(out.String(), "starved 1") {
 		t.Fatalf("fairness lanes missing from report:\n%s", out.String())
+	}
+}
+
+// TestParseFormat: the valid set passes through, anything else is rejected
+// with an error that names every valid format.
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "json", "prom"} {
+		if got, err := parseFormat(ok); err != nil || got != ok {
+			t.Fatalf("parseFormat(%q) = %q, %v", ok, got, err)
+		}
+	}
+	_, err := parseFormat("xml")
+	if err == nil {
+		t.Fatal("parseFormat accepted xml")
+	}
+	for _, want := range []string{"text", "json", "prom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("rejection does not list %q: %v", want, err)
+		}
+	}
+}
+
+// TestRenderProm: -format prom routes through the Prometheus writer.
+func TestRenderProm(t *testing.T) {
+	path, _ := writeSnapshotFile(t, 0)
+	var b bytes.Buffer
+	if err := reportFile(&b, path, 0, "prom"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE gls_lock_acquisitions_total counter",
+		`gls_lock_acquisitions_total{key="0xabc",label="hot",kind="glk",side="write"} 10`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("prom render missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// topRegistry builds a registry with traffic between frames, driven by the
+// callback runTop invokes as its snapshot source.
+func topRegistry(t *testing.T) (*telemetry.Registry, func() (*telemetry.Snapshot, error)) {
+	t.Helper()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	st := reg.Register(0x77, "glk")
+	reg.SetLabel(0x77, "busy")
+	tok := stripe.Self()
+	src := func() (*telemetry.Snapshot, error) {
+		for i := 0; i < 50; i++ {
+			a := st.Arrive(tok)
+			a.Acquired(i%2 == 0)
+			st.Release(tok)
+		}
+		return reg.Snapshot(), nil
+	}
+	return reg, src
+}
+
+// TestRunTopInProcess: the live view renders frames with rate columns and
+// carries events from the in-process stream into the ticker.
+func TestRunTopInProcess(t *testing.T) {
+	reg, src := topRegistry(t)
+	sub := reg.Events().Subscribe()
+	defer sub.Close()
+	reg.Get(0x77).Transition("ticket", "mcs", "avg queue 4.00 > 3.00")
+
+	var b bytes.Buffer
+	err := runTop(&b, src, sub, topConfig{n: 5, interval: 15 * time.Millisecond, frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"[glslive]", "KEY", "CONT%", "0x77", "busy",
+		"recent events:", "transition", "ticket→mcs", "avg queue 4.00 > 3.00",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("live frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "[glslive]") != 2 {
+		t.Fatalf("frames=2 rendered %d frames:\n%s", strings.Count(out, "[glslive]"), out)
+	}
+}
+
+// TestRunTopRemote: the live view polls a telemetryhttp endpoint and
+// reconstructs the ticker from the interval diff's transition edges.
+func TestRunTopRemote(t *testing.T) {
+	reg, src := topRegistry(t)
+	srv := httptest.NewServer(telemetryhttp.Handler(reg))
+	defer srv.Close()
+
+	// Traffic and a transition between polls, driven server-side.
+	var mu sync.Mutex
+	frames := 0
+	proxy := func() (*telemetry.Snapshot, error) {
+		mu.Lock()
+		if _, err := src(); err != nil { // drive traffic into the registry
+			mu.Unlock()
+			return nil, err
+		}
+		frames++
+		if frames == 2 {
+			reg.Get(0x77).Transition("mcs", "futex", "oversubscribed")
+		}
+		mu.Unlock()
+		return fetchURL(srv.URL + "?format=json")()
+	}
+
+	var b bytes.Buffer
+	if err := runTop(&b, proxy, nil, topConfig{n: 3, interval: 15 * time.Millisecond, frames: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"[glslive]", "0x77", "mcs→futex", "oversubscribed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("remote live frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFetchURLErrors: non-200 responses surface as errors, not empty
+// snapshots.
+func TestFetchURLErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if _, err := fetchURL(srv.URL)(); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("fetchURL on a 503: %v", err)
+	}
+}
+
+// TestFormatEvent: ticker lines carry the kind, identity, edge, and reason.
+func TestFormatEvent(t *testing.T) {
+	line := formatEvent(&telemetry.Event{
+		Time: time.Date(2026, 8, 8, 12, 30, 15, 0, time.UTC),
+		Kind: telemetry.EventTransition, Key: 0x9, Label: "idx",
+		From: "ticket", To: "mcs", Count: 3, Reason: "queue grew",
+	})
+	for _, want := range []string{"12:30:15", "transition", "0x9(idx)", "ticket→mcs", "×3", "queue grew"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("event line missing %q: %s", want, line)
+		}
 	}
 }

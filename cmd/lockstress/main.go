@@ -53,6 +53,7 @@ type scenario struct {
 var scenarios = map[string]scenario{
 	"oversubscription": {custom: runOversubscription},
 	"churn":            {custom: runChurn},
+	"slowsubscriber":   {custom: runSlowSubscriber},
 	"writerstarvation": {custom: runWriterStarvation},
 	"readerstarvation": {custom: runReaderStarvation},
 	"holderstall":      {custom: runHolderStall},
@@ -532,18 +533,224 @@ func runChurn() (string, bool) {
 	return what, ok
 }
 
+// runSlowSubscriber is the glslive stress: one subscriber drains the event
+// stream while a second one stalls completely through a transition storm —
+// a forced ticket→mcs→mutex arc, a reader-starvation escalation to
+// phase-fair admission, and a Free churn that floods the ring with retired
+// events. Success criteria:
+//
+//   - the live subscriber sees the GLK arc and the starvation escalation as
+//     *ordered* events (ticket→mcs before mcs→mutex; the starvation signal
+//     before the family change it triggers);
+//   - drop accounting is exact at quiescence for both subscribers:
+//     received + Dropped() == Published(), with the stalled one lapped;
+//   - memory stays bounded: a stalled subscriber buffers nothing, so its
+//     final drain yields at most the ring's capacity;
+//   - the hot path never stalls on the stalled subscriber — the storm
+//     completes its transitions within the same deadlines that the
+//     subscriber-free oversubscription scenario uses.
+func runSlowSubscriber() (string, bool) {
+	const what = "ordered event arc and exact drop accounting despite a stalled subscriber"
+	const (
+		hotKey     = 0xe0001
+		rwKey      = 0xe0002
+		churnBase  = uint64(1) << 33
+		ringSize   = 64
+		churnFrees = 512
+	)
+	frees := churnFrees
+	if quickMode {
+		frees = 192
+	}
+	mon := sysmon.New(sysmon.Options{Interval: time.Millisecond, DisableProbes: true})
+	mon.Start()
+	defer mon.Stop()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 8, EventBuffer: ringSize})
+	svc := gls.New(gls.Options{
+		Telemetry: reg,
+		GLK:       &glk.Config{Monitor: mon, SamplePeriod: 8, AdaptPeriod: 64},
+		GLKRW: &glk.RWConfig{SamplePeriod: 8, StarveBackouts: 4, FairPeriods: 250,
+			Monitor: mon},
+	})
+	defer svc.Close()
+	svc.InitLock(hotKey)
+	svc.InitRWLock(rwKey)
+	reg.SetLabel(hotKey, "hot")
+	reg.SetLabel(rwKey, "hot-rw")
+
+	// Both subscribers attach before the first event, so Published() is
+	// each one's exact denominator. The live one drains continuously; the
+	// stalled one does not poll until the storm is over.
+	live := reg.Events().Subscribe()
+	defer live.Close()
+	stalled := reg.Events().Subscribe()
+	defer stalled.Close()
+
+	var seen []*telemetry.Event
+	drainStop := make(chan struct{})
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		for {
+			select {
+			case <-drainStop:
+				seen = append(seen, live.Poll(0)...)
+				return
+			case <-live.C():
+				seen = append(seen, live.Poll(0)...)
+			}
+		}
+	}()
+
+	// Phase 1+2: the oversubscription flood, staged so the arc is forced in
+	// order — contention alone moves ticket→mcs, then the scheduler-pressure
+	// hint moves mcs→mutex.
+	workers := 8 * runtime.GOMAXPROCS(0)
+	if workers < 16 {
+		workers = 16
+	}
+	fmt.Printf("transition storm: %d goroutines on %d procs, ring %d, one stalled subscriber...\n",
+		workers, runtime.GOMAXPROCS(0), ringSize)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				svc.Lock(hotKey)
+				runtime.Gosched()
+				cycles.Wait(512)
+				svc.Unlock(hotKey)
+			}
+		}()
+	}
+	transitioned := func(to string) bool {
+		if l := reg.Snapshot().Lock(hotKey); l != nil {
+			for _, tr := range l.Transitions {
+				if tr.To == to {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	waitFor := func(to string, d time.Duration) bool {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			if transitioned(to) {
+				return true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	}
+	mcsSeen := waitFor(glk.ModeMCS.String(), 15*time.Second)
+	mon.SetHint(workers)
+	mutexSeen := waitFor(glk.ModeMutex.String(), 15*time.Second)
+	mon.SetHint(0)
+	close(stop)
+	wg.Wait()
+
+	// Phase 3: the adversarial writer stream starves readers on the service
+	// RW key until the adaptive policy escalates to phase-fair admission.
+	readsEach := 25
+	if quickMode {
+		readsEach = 12
+	}
+	_, rwStarvedOut := starveProbe(serviceRW{svc: svc, key: rwKey}, 1, 2, readsEach, 45*time.Second)
+
+	// Phase 4: Free churn floods the ring with retired events — far more
+	// than its capacity, so the stalled subscriber is definitely lapped.
+	for i := 0; i < frees; i++ {
+		k := churnBase + uint64(i%32)
+		svc.Lock(k)
+		svc.Unlock(k)
+		svc.Free(k)
+	}
+
+	// Quiescence: publishers done, then the drainer's final poll.
+	close(drainStop)
+	<-drainDone
+
+	published := reg.Events().Published()
+	liveTotal := uint64(len(seen)) + live.Dropped()
+	lateBatch := stalled.Poll(0)
+	stalledTotal := uint64(len(lateBatch)) + stalled.Dropped()
+	fmt.Printf("published %d; live saw %d (+%d dropped); stalled drained %d late (+%d dropped)\n",
+		published, len(seen), live.Dropped(), len(lateBatch), stalled.Dropped())
+
+	// Ordered arc on the live stream: ticket→mcs strictly before mcs→mutex
+	// (safe to assert — transitions publish under the stats mutex, so their
+	// stream order is their real order), plus the starvation signal and the
+	// escalation it causes. The signal-vs-escalation order is NOT asserted:
+	// the reader publishes its event after raising the internal flag, so a
+	// preemption in between lets the writer's escalation reach the ring
+	// first — a faithful record of publish order, not a stream defect.
+	idxOf := func(match func(*telemetry.Event) bool) int {
+		for i, ev := range seen {
+			if match(ev) {
+				return i
+			}
+		}
+		return -1
+	}
+	edge := func(key uint64, from, to string) int {
+		return idxOf(func(ev *telemetry.Event) bool {
+			return ev.Kind == telemetry.EventTransition && ev.Key == key && ev.From == from && ev.To == to
+		})
+	}
+	iMCS := edge(hotKey, glk.ModeTicket.String(), glk.ModeMCS.String())
+	iMutex := edge(hotKey, glk.ModeMCS.String(), glk.ModeMutex.String())
+	iStarve := idxOf(func(ev *telemetry.Event) bool {
+		return ev.Kind == telemetry.EventStarvation && ev.Key == rwKey
+	})
+	iFair := idxOf(func(ev *telemetry.Event) bool {
+		return ev.Kind == telemetry.EventTransition && ev.Key == rwKey && ev.To == glk.RWModePhaseFair.String()
+	})
+	ordered := true
+	for i := 1; i < len(seen); i++ {
+		if seen[i].Seq <= seen[i-1].Seq {
+			ordered = false
+		}
+	}
+	retiredSeen := 0
+	for _, ev := range seen {
+		if ev.Kind == telemetry.EventRetired {
+			retiredSeen++
+		}
+	}
+	fmt.Printf("arc: ticket→mcs@%d, mcs→mutex@%d; starvation@%d → rwphasefair@%d; %d retired events; seq-ordered %v\n",
+		iMCS, iMutex, iStarve, iFair, retiredSeen, ordered)
+
+	ok := mcsSeen && mutexSeen && !rwStarvedOut &&
+		iMCS >= 0 && iMutex > iMCS && // the forced arc, in order
+		iStarve >= 0 && iFair >= 0 && // signal and escalation both streamed
+		ordered &&
+		liveTotal == published && // exact accounting, live side
+		stalledTotal == published && // exact accounting, stalled side
+		stalled.Dropped() > 0 && // the stall really lost events
+		len(lateBatch) <= ringSize // bounded: a stalled subscriber buffers nothing
+	return what, ok
+}
+
 // quickMode trims the chaos scenarios' iteration counts for CI smoke runs
 // (-quick); set once in main before any scenario runs.
 var quickMode bool
 
 func main() {
 	bug := flag.String("bug", "all",
-		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, writerstarvation, readerstarvation, holderstall, abortstorm, all")
+		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, slowsubscriber, writerstarvation, readerstarvation, holderstall, abortstorm, all")
 	quick := flag.Bool("quick", false, "reduced iteration counts (CI smoke runs)")
 	flag.Parse()
 	quickMode = *quick
 
-	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "writerstarvation", "readerstarvation", "holderstall", "abortstorm"}
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "slowsubscriber", "writerstarvation", "readerstarvation", "holderstall", "abortstorm"}
 	if *bug != "all" {
 		if _, ok := scenarios[*bug]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)

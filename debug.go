@@ -10,6 +10,7 @@ import (
 
 	"gls/internal/gid"
 	"gls/locks"
+	"gls/telemetry"
 )
 
 // IssueKind classifies the lock-usage problems GLS debug mode detects
@@ -272,6 +273,16 @@ func (d *debugState) clearWaiting(g gid.ID) {
 func (s *Service) report(iss Issue) {
 	if int(iss.Kind) < issueKindCount {
 		s.issueCounts[iss.Kind].Add(1)
+	}
+	// Deadlocks also go out on the telemetry event stream: a live glsstat
+	// -top (or any subscriber) sees the cycle without wiring OnIssue.
+	if s.tele != nil && iss.Kind == IssueDeadlock {
+		s.tele.Events().Publish(telemetry.Event{
+			Kind:   telemetry.EventDeadlock,
+			Key:    iss.Key,
+			Reason: iss.Message,
+			Count:  uint64(len(iss.Cycle)),
+		})
 	}
 	if s.opts.OnIssue != nil {
 		s.opts.OnIssue(iss)

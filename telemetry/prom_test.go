@@ -1,0 +1,331 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gls/internal/stripe"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+var (
+	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.+)$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
+	promLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// parsePromText is a strict parser for the Prometheus text exposition
+// format v0.0.4 — strict enough to catch the mistakes a writer can make:
+// malformed lines, samples without a preceding TYPE, repeated or
+// non-contiguous families, unparseable values, histograms whose buckets
+// are not cumulative or whose +Inf disagrees with _count. Written by hand
+// because the repo takes no dependencies; it accepts a subset of what
+// Prometheus accepts, which is exactly what a writer test wants.
+func parsePromText(t *testing.T, data string) []promSample {
+	t.Helper()
+	var samples []promSample
+	types := map[string]string{}
+	var closed []string // families whose block has ended (contiguity check)
+	cur := ""
+	sc := bufio.NewScanner(strings.NewReader(data))
+	endFamily := func() {
+		if cur != "" {
+			closed = append(closed, cur)
+			cur = ""
+		}
+	}
+	base := func(name string) string {
+		if types[name] != "" {
+			return name
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			b := strings.TrimSuffix(name, suf)
+			if b != name && types[b] == "histogram" {
+				return b
+			}
+		}
+		return name
+	}
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if m := promHelpRe.FindStringSubmatch(line); m != nil {
+			endFamily()
+			continue
+		}
+		if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			endFamily()
+			if _, dup := types[m[1]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, m[1])
+			}
+			types[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unrecognized comment %q", ln, line)
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", ln, line)
+		}
+		name, rawLabels, rawVal := m[1], m[2], m[3]
+		fam := base(name)
+		if types[fam] == "" {
+			t.Fatalf("line %d: sample %s before any TYPE", ln, name)
+		}
+		if cur == "" {
+			cur = fam
+			for _, c := range closed {
+				if c == fam {
+					t.Fatalf("line %d: family %s not contiguous", ln, fam)
+				}
+			}
+		} else if cur != fam {
+			endFamily()
+			for _, c := range closed {
+				if c == fam {
+					t.Fatalf("line %d: family %s not contiguous", ln, fam)
+				}
+			}
+			cur = fam
+		}
+		val, err := strconv.ParseFloat(rawVal, 64)
+		if err != nil && rawVal != "+Inf" && rawVal != "-Inf" && rawVal != "NaN" {
+			t.Fatalf("line %d: bad value %q", ln, rawVal)
+		}
+		labels := map[string]string{}
+		if rawLabels != "" {
+			for _, pair := range splitPromLabels(rawLabels) {
+				lm := promLabelRe.FindStringSubmatch(pair)
+				if lm == nil {
+					t.Fatalf("line %d: bad label %q", ln, pair)
+				}
+				if _, dup := labels[lm[1]]; dup {
+					t.Fatalf("line %d: duplicate label %s", ln, lm[1])
+				}
+				labels[lm[1]] = lm[2]
+			}
+		}
+		samples = append(samples, promSample{name: name, labels: labels, value: val})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// splitPromLabels splits a rendered label body on commas outside quotes.
+func splitPromLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// promTestSnapshot builds a registry with both lock shapes and full
+// traffic: sampled latencies, aborts, transitions, a retired lock.
+func promTestSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	reg := New(Options{SamplePeriod: 1})
+	tok := stripe.Self()
+
+	ex := reg.Register(0x1, "glk")
+	reg.SetLabel(0x1, `hot "x"\y`) // exercise label escaping
+	ex.SetMode("ticket")
+	for i := 0; i < 12; i++ {
+		a := ex.Arrive(tok)
+		a.Acquired(i%2 == 0)
+		ex.Release(tok)
+	}
+	ex.Transition("ticket", "mcs", "queue grew")
+	a := ex.Arrive(tok)
+	a.Aborted(true)
+
+	rw := reg.Register(0x2, "glkrw")
+	rw.EnableRW()
+	for i := 0; i < 6; i++ {
+		ra := rw.RArrive(tok)
+		ra.RAcquired(true)
+		rw.RRelease(tok)
+	}
+	wa := rw.Arrive(tok)
+	wa.Acquired(false)
+	rw.Release(tok)
+
+	gone := reg.Register(0x3, "mcs")
+	ga := gone.Arrive(tok)
+	ga.Acquired(false)
+	gone.Release(tok)
+	reg.Unregister(0x3)
+
+	return reg.Snapshot()
+}
+
+// TestPromExposition: the writer's output parses strictly, and the
+// samples carry the right values.
+func TestPromExposition(t *testing.T) {
+	snap := promTestSnapshot(t)
+	var buf bytes.Buffer
+	if err := snap.WritePromText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, buf.String())
+
+	find := func(name string, want map[string]string) *promSample {
+		for i := range samples {
+			s := &samples[i]
+			if s.name != name {
+				continue
+			}
+			ok := true
+			for k, v := range want {
+				if s.labels[k] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return s
+			}
+		}
+		return nil
+	}
+
+	if s := find("gls_locks", nil); s == nil || s.value != 2 {
+		t.Fatalf("gls_locks: %+v", s)
+	}
+	if s := find("gls_retired_locks_total", nil); s == nil || s.value != 1 {
+		t.Fatalf("gls_retired_locks_total: %+v", s)
+	}
+	if s := find("gls_lock_acquisitions_total", map[string]string{"key": "0x1", "side": "write"}); s == nil || s.value != 12 {
+		t.Fatalf("exclusive acquisitions: %+v", s)
+	}
+	if s := find("gls_lock_acquisitions_total", map[string]string{"key": "0x2", "side": "read"}); s == nil || s.value != 6 {
+		t.Fatalf("read acquisitions: %+v", s)
+	}
+	if s := find("gls_lock_timeouts_total", map[string]string{"key": "0x1"}); s == nil || s.value != 1 {
+		t.Fatalf("timeouts: %+v", s)
+	}
+	if s := find("gls_lock_transitions_total", map[string]string{"key": "0x1"}); s == nil || s.value != 1 {
+		t.Fatalf("transitions: %+v", s)
+	}
+	if s := find("gls_lock_mode", map[string]string{"key": "0x1", "mode": "mcs"}); s == nil || s.value != 1 {
+		t.Fatalf("mode info series: %+v", s)
+	}
+	// The escaped label survived the round trip (parser unescapes \\ and \").
+	if s := find("gls_lock_acquisitions_total", map[string]string{"key": "0x1", "side": "write"}); s.labels["label"] != `hot \"x\"\\y` {
+		t.Fatalf("escaped label: %q", s.labels["label"])
+	}
+
+	// Histogram invariants: buckets cumulative, +Inf == _count, _sum sane.
+	checkHist(t, samples, "gls_lock_wait_seconds", map[string]string{"key": "0x1", "side": "write"}, 12)
+	checkHist(t, samples, "gls_lock_wait_seconds", map[string]string{"key": "0x2", "side": "read"}, 6)
+	checkHist(t, samples, "gls_lock_hold_seconds", map[string]string{"key": "0x1", "side": "write"}, 12)
+}
+
+// checkHist validates one histogram series' structural invariants.
+func checkHist(t *testing.T, samples []promSample, name string, ident map[string]string, wantCount float64) {
+	t.Helper()
+	match := func(s *promSample) bool {
+		for k, v := range ident {
+			if s.labels[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	var buckets []promSample
+	var sum, count *promSample
+	for i := range samples {
+		s := &samples[i]
+		if !match(s) {
+			continue
+		}
+		switch s.name {
+		case name + "_bucket":
+			buckets = append(buckets, *s)
+		case name + "_sum":
+			sum = s
+		case name + "_count":
+			count = s
+		}
+	}
+	if len(buckets) == 0 || sum == nil || count == nil {
+		t.Fatalf("%s%v: incomplete histogram (%d buckets, sum %v, count %v)", name, ident, len(buckets), sum, count)
+	}
+	prev := -1.0
+	prevLe := math.Inf(-1)
+	for _, b := range buckets {
+		le := math.Inf(1)
+		if b.labels["le"] != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(b.labels["le"], 64)
+			if err != nil {
+				t.Fatalf("%s: bad le %q", name, b.labels["le"])
+			}
+		}
+		if le <= prevLe {
+			t.Fatalf("%s: le bounds not increasing (%v after %v)", name, le, prevLe)
+		}
+		if b.value < prev {
+			t.Fatalf("%s: buckets not cumulative (%v after %v)", name, b.value, prev)
+		}
+		prev, prevLe = b.value, le
+	}
+	last := buckets[len(buckets)-1]
+	if last.labels["le"] != "+Inf" {
+		t.Fatalf("%s: final bucket le=%q, want +Inf", name, last.labels["le"])
+	}
+	if last.value != count.value || count.value != wantCount {
+		t.Fatalf("%s: +Inf %v, count %v, want %v", name, last.value, count.value, wantCount)
+	}
+	if count.value > 0 && sum.value < 0 {
+		t.Fatalf("%s: negative sum %v", name, sum.value)
+	}
+}
+
+// TestPromDeterministic: two writes of one snapshot are byte-identical.
+func TestPromDeterministic(t *testing.T) {
+	snap := promTestSnapshot(t)
+	var a, b bytes.Buffer
+	if err := snap.WritePromText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("prom output not deterministic")
+	}
+	if testing.Verbose() {
+		fmt.Println(a.String())
+	}
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"gls/internal/stripe"
+)
+
+// TestSamplerRates: manual Sample calls derive interval rates from the
+// diff, not lifetime totals.
+func TestSamplerRates(t *testing.T) {
+	reg := New(Options{SamplePeriod: 1})
+	st := reg.Register(0xc1, "glk")
+	reg.SetLabel(0xc1, "hot")
+	tok := stripe.Self()
+	drive := func(n int) {
+		for i := 0; i < n; i++ {
+			a := st.Arrive(tok)
+			a.Acquired(i%2 == 0)
+			st.Release(tok)
+		}
+	}
+
+	s := NewSampler(reg, SamplerOptions{Interval: 10 * time.Millisecond, TopK: 5, Depth: 3})
+	drive(100)
+	time.Sleep(20 * time.Millisecond) // a real elapsed interval for the rate
+	p := s.Sample()
+	if p.AcqPerSec <= 0 {
+		t.Fatalf("first interval rate: %+v", p)
+	}
+	if len(p.Top) != 1 || p.Top[0].Label != "hot" || p.Top[0].AcqPerSec <= 0 {
+		t.Fatalf("top rows: %+v", p.Top)
+	}
+	if p.ContentionPct < 40 || p.ContentionPct > 60 {
+		t.Fatalf("contention %.1f%%, want ~50%%", p.ContentionPct)
+	}
+
+	// A quiet interval reads zero rates — the diff, not the totals.
+	time.Sleep(15 * time.Millisecond)
+	q := s.Sample()
+	if q.AcqPerSec != 0 || len(q.Top) != 1 || q.Top[0].AcqPerSec != 0 {
+		t.Fatalf("quiet interval: %+v", q)
+	}
+
+	// Depth bounds the series.
+	s.Sample()
+	s.Sample()
+	if got := len(s.Series()); got != 3 {
+		t.Fatalf("series depth %d, want 3", got)
+	}
+	if last, ok := s.Latest(); !ok || !last.Time.After(p.Time) {
+		t.Fatalf("latest: %+v ok=%v", last, ok)
+	}
+}
+
+// TestSamplerStartStop: the ticker goroutine produces points and tears
+// down cleanly; double Start/Stop are no-ops.
+func TestSamplerStartStop(t *testing.T) {
+	reg := New(Options{SamplePeriod: 1})
+	st := reg.Register(0xc2, "glk")
+	tok := stripe.Self()
+	s := NewSampler(reg, SamplerOptions{Interval: 10 * time.Millisecond})
+	s.Start()
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		a := st.Arrive(tok)
+		a.Acquired(false)
+		st.Release(tok)
+		if _, ok := s.Latest(); ok || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop()
+	if _, ok := s.Latest(); !ok {
+		t.Fatal("sampler never produced a point")
+	}
+}

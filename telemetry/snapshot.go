@@ -66,6 +66,15 @@ type LockSnapshot struct {
 	RWaitPhases uint64 `json:"r_wait_phases,omitempty"`
 	RStarved    uint64 `json:"r_starved,omitempty"`
 	RPresent    int64  `json:"r_present,omitempty"`
+
+	// WaitHist, HoldHist, and RWaitHist are the sampled latency histograms:
+	// bucket i counts timed samples whose duration fell in [2^(i-1), 2^i)
+	// nanoseconds, trailing zero buckets trimmed (see hist.go). They feed
+	// the percentile accessors (WaitPercentile and friends); the mean
+	// accessors above use the exact nanosecond sums instead.
+	WaitHist  []uint64 `json:"wait_hist,omitempty"`
+	HoldHist  []uint64 `json:"hold_hist,omitempty"`
+	RWaitHist []uint64 `json:"r_wait_hist,omitempty"`
 }
 
 // Name returns the label if set, else the hex key.
@@ -145,6 +154,25 @@ func (l *LockSnapshot) AvgWriterDrain() time.Duration {
 	return time.Duration(l.WDrainNanos / l.Samples)
 }
 
+// WaitPercentile returns the p-th percentile (0 < p < 100) of the sampled
+// acquisition wait latency, from the log-bucketed histogram — accurate to
+// the bucket's factor-of-two width. Zero when nothing was sampled.
+func (l *LockSnapshot) WaitPercentile(p float64) time.Duration {
+	return histPercentile(l.WaitHist, p)
+}
+
+// HoldPercentile returns the p-th percentile of the sampled hold
+// (critical-section) latency.
+func (l *LockSnapshot) HoldPercentile(p float64) time.Duration {
+	return histPercentile(l.HoldHist, p)
+}
+
+// RWaitPercentile returns the p-th percentile of the sampled read-side
+// acquisition wait latency of an RW lock.
+func (l *LockSnapshot) RWaitPercentile(p float64) time.Duration {
+	return histPercentile(l.RWaitHist, p)
+}
+
 // TransitionCount is the total number of mode changes.
 func (l *LockSnapshot) TransitionCount() uint64 {
 	var n uint64
@@ -177,6 +205,12 @@ type RetiredSnapshot struct {
 	RTryFails     uint64 `json:"r_trylock_failures,omitempty"`
 	RWaitPhases   uint64 `json:"r_wait_phases,omitempty"`
 	RStarved      uint64 `json:"r_starved,omitempty"`
+
+	// Latency histograms folded from retired locks, same bucket scheme as
+	// LockSnapshot's.
+	WaitHist  []uint64 `json:"wait_hist,omitempty"`
+	HoldHist  []uint64 `json:"hold_hist,omitempty"`
+	RWaitHist []uint64 `json:"r_wait_hist,omitempty"`
 }
 
 // Snapshot is a point-in-time (or, after Diff, an interval) view of a
@@ -234,6 +268,9 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			RTryFails:     s.Retired.RTryFails - prev.Retired.RTryFails,
 			RWaitPhases:   s.Retired.RWaitPhases - prev.Retired.RWaitPhases,
 			RStarved:      s.Retired.RStarved - prev.Retired.RStarved,
+			WaitHist:      subBuckets(s.Retired.WaitHist, prev.Retired.WaitHist),
+			HoldHist:      subBuckets(s.Retired.HoldHist, prev.Retired.HoldHist),
+			RWaitHist:     subBuckets(s.Retired.RWaitHist, prev.Retired.RWaitHist),
 		},
 	}
 	curGen := make(map[uint64]uint64, len(s.Locks))
@@ -269,6 +306,9 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			cur.WDrainNanos = sub0(cur.WDrainNanos, p.WDrainNanos)
 			cur.RWaitPhases = sub0(cur.RWaitPhases, p.RWaitPhases)
 			cur.RStarved = sub0(cur.RStarved, p.RStarved)
+			cur.WaitHist = subBuckets(cur.WaitHist, p.WaitHist)
+			cur.HoldHist = subBuckets(cur.HoldHist, p.HoldHist)
+			cur.RWaitHist = subBuckets(cur.RWaitHist, p.RWaitHist)
 			cur.Transitions = diffTransitions(cur.Transitions, p.Transitions)
 		}
 		out.Locks = append(out.Locks, cur)
@@ -292,6 +332,9 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 			out.Retired.RContended = sub0(out.Retired.RContended, p.RContended)
 			out.Retired.RTryFails = sub0(out.Retired.RTryFails, p.RTryFails)
 			out.Retired.Transitions = sub0(out.Retired.Transitions, p.TransitionCount())
+			out.Retired.WaitHist = subBuckets(out.Retired.WaitHist, p.WaitHist)
+			out.Retired.HoldHist = subBuckets(out.Retired.HoldHist, p.HoldHist)
+			out.Retired.RWaitHist = subBuckets(out.Retired.RWaitHist, p.RWaitHist)
 		}
 	}
 	out.sort()
@@ -399,6 +442,14 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			// the fixed-width table stays stable for locks that never abort.
 			trail += fmt.Sprintf("  timeouts %d  cancels %d", l.Timeouts, l.Cancels)
 		}
+		// Percentiles ride the trailing column too: locks that never
+		// sampled (no histogram block) keep their lines short.
+		if len(l.WaitHist) > 0 {
+			trail += "  wait-p50/95/99 " + fmtPercentiles(l.WaitHist)
+		}
+		if len(l.HoldHist) > 0 {
+			trail += "  hold-p50/95/99 " + fmtPercentiles(l.HoldHist)
+		}
 		if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10d %6.1f%% %9d %9s %9s %10.2f  %s\n",
 			fmt.Sprintf("%#x", l.Key), l.Label, l.Kind, l.Mode,
 			l.Acquisitions, 100*l.ContentionRatio(), l.TryFails,
@@ -412,16 +463,30 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			// read/write split. The trailing cells are the glsfair fairness
 			// lanes: writer drain time, writer phases that bypassed blocked
 			// readers, and readers starved past the bound.
-			if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10d %6.1f%% %9d %9s %9s %10.2f  w-drain %s  bypass-phases %d  starved %d\n",
+			rtrail := fmt.Sprintf("w-drain %s  bypass-phases %d  starved %d",
+				fmtDur(l.AvgWriterDrain()), l.RWaitPhases, l.RStarved)
+			if len(l.RWaitHist) > 0 {
+				rtrail += "  r-wait-p50/95/99 " + fmtPercentiles(l.RWaitHist)
+			}
+			if _, err := fmt.Fprintf(w, "%18s %-16s %-5s %-6s %10d %6.1f%% %9d %9s %9s %10.2f  %s\n",
 				"", "  └ read side", "", "",
 				l.RAcquisitions, 100*l.RContentionRatio(), l.RTryFails,
 				fmtDur(l.AvgRWait()), "-", l.AvgRQueue(),
-				fmtDur(l.AvgWriterDrain()), l.RWaitPhases, l.RStarved); err != nil {
+				rtrail); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// fmtPercentiles renders a histogram's p50/p95/p99 as one slash-joined
+// cell for the trailing report column.
+func fmtPercentiles(buckets []uint64) string {
+	return fmt.Sprintf("%s/%s/%s",
+		fmtDur(histPercentile(buckets, 50)),
+		fmtDur(histPercentile(buckets, 95)),
+		fmtDur(histPercentile(buckets, 99)))
 }
 
 // fmtDur renders a duration compactly for the fixed-width report.

@@ -117,6 +117,12 @@ type Options struct {
 	// (profiling fidelity — this is what Options.Profile uses).
 	SamplePeriod uint64
 
+	// EventBuffer is the capacity of the registry's event ring (see
+	// Registry.Events), rounded up to a power of two. 0 selects
+	// DefaultEventBuffer. The ring is allocated on first subscribe, so the
+	// setting costs nothing until someone streams.
+	EventBuffer int
+
 	// MaxLocks soft-caps the number of live per-lock stats (0 = unlimited).
 	// A very-high-cardinality key space would otherwise hold one LockStats
 	// (several cache lines) per live key forever; with a cap, a Register
@@ -160,6 +166,10 @@ type Registry struct {
 	// retired accumulates the counters of unregistered locks so interval
 	// totals stay monotonic across Free.
 	retired retiredTotals
+
+	// hub is the registry's event stream (see Events); created with the
+	// registry so every LockStats can carry the pointer from birth.
+	hub *Hub
 }
 
 type retiredTotals struct {
@@ -172,6 +182,12 @@ type retiredTotals struct {
 	timeouts     uint64 // abort cause counters of retired locks (glsx)
 	cancels      uint64
 	transitions  uint64
+
+	// Latency histograms of retired locks, in the summed-bucket form (see
+	// hist.go), so percentile data survives Free and idle eviction.
+	waitHist  []uint64
+	holdHist  []uint64
+	rwaitHist []uint64
 }
 
 // New returns an empty registry.
@@ -187,7 +203,12 @@ func New(opts Options) *Registry {
 	for mask < p && mask < 1<<63 {
 		mask <<= 1
 	}
-	return &Registry{sampleMask: mask - 1, maxLocks: opts.MaxLocks, locks: make(map[uint64]*LockStats)}
+	return &Registry{
+		sampleMask: mask - 1,
+		maxLocks:   opts.MaxLocks,
+		locks:      make(map[uint64]*LockStats),
+		hub:        newHub(opts.EventBuffer),
+	}
 }
 
 var (
@@ -218,7 +239,7 @@ func (r *Registry) Register(key uint64, kind string) *LockStats {
 		return st
 	}
 	r.gen++
-	st := &LockStats{statsHeader: statsHeader{key: key, kind: kind, gen: r.gen, sampleMask: r.sampleMask}}
+	st := &LockStats{statsHeader: statsHeader{key: key, kind: kind, gen: r.gen, sampleMask: r.sampleMask, hub: r.hub}}
 	// The sentinel guarantees one full sweep interval of grace: the first
 	// scan observes lastArrivals != arrivals and re-arms instead of folding,
 	// so a lock registered moments before a sweep cannot lose its stats
@@ -267,11 +288,22 @@ func (r *Registry) foldLocked(st *LockStats, evicted bool) {
 	}
 	r.retired.timeouts += st.timeouts.Load()
 	r.retired.cancels += st.cancels.Load()
+	if h := st.hist.Load(); h != nil {
+		r.retired.waitHist = addBuckets(r.retired.waitHist, h.wait.sum())
+		r.retired.holdHist = addBuckets(r.retired.holdHist, h.hold.sum())
+		r.retired.rwaitHist = addBuckets(r.retired.rwaitHist, h.rwait.sum())
+	}
 	st.cold.Lock()
+	label := st.label
 	for _, tr := range st.transitions {
 		r.retired.transitions += tr.Count
 	}
 	st.cold.Unlock()
+	kind := EventRetired
+	if evicted {
+		kind = EventEvicted
+	}
+	r.hub.Publish(Event{Kind: kind, Key: st.key, Label: label, LockKind: st.kind})
 }
 
 // foldIdleLocked folds every lock that is idle — arrivals unchanged since
@@ -394,6 +426,13 @@ type statsHeader struct {
 	// Atomic only so a snapshot racing a construction reads nil cleanly;
 	// the hooks themselves always run after EnableRW.
 	rw atomic.Pointer[rwExtra]
+	// hist is the latency-histogram block, allocated lazily on the first
+	// timed sample (see hist.go) — the same 8-bytes-until-needed discipline
+	// as rw, applied to percentile data.
+	hist atomic.Pointer[histBlock]
+	// hub is the owning registry's event stream; set at Register, read by
+	// the cold emission sites (transitions, starvation, aborts, folds).
+	hub *Hub
 }
 
 // LockStats accumulates the telemetry of one lock. Instances come from
@@ -547,8 +586,10 @@ func (a Acq) Acquired(contended bool) {
 		return
 	}
 	now := time.Now()
+	wait := now.Sub(a.start)
 	s.lanes.Add(a.tok, slotSamples, 1)
-	s.lanes.Add(a.tok, slotWaitNanos, uint64(now.Sub(a.start)))
+	s.lanes.Add(a.tok, slotWaitNanos, uint64(wait))
+	s.histb().wait.record(a.tok, wait)
 	q := s.presentNow()
 	if q < 1 {
 		q = 1 // racing decrements can transiently hide even the holder
@@ -575,9 +616,9 @@ func (a Acq) Failed() {
 func (a Acq) Aborted(timeout bool) {
 	a.Failed()
 	if timeout {
-		a.st.timeouts.Add(1)
+		a.st.publishAbort(a.st.timeouts.Add(1), "deadline timeout")
 	} else {
-		a.st.cancels.Add(1)
+		a.st.publishAbort(a.st.cancels.Add(1), "context cancel")
 	}
 }
 
@@ -586,7 +627,9 @@ func (a Acq) Aborted(timeout bool) {
 // it still holds the lock (the hold timer is holder-only state).
 func (s *LockStats) Release(tok uint64) {
 	if !s.holdStart.IsZero() {
-		s.lanes.Add(tok, slotHoldNanos, uint64(time.Since(s.holdStart)))
+		hold := time.Since(s.holdStart)
+		s.lanes.Add(tok, slotHoldNanos, uint64(hold))
+		s.histb().hold.record(tok, hold)
 		s.holdStart = time.Time{}
 	}
 	if !s.selfCounting() {
@@ -631,8 +674,10 @@ func (a Acq) RAcquired(contended bool) {
 	if !a.timed {
 		return
 	}
+	rwait := time.Since(a.start)
 	rw.lanes.Add(a.tok, rwSlotRSamples, 1)
-	rw.lanes.Add(a.tok, rwSlotRWaitNanos, uint64(time.Since(a.start)))
+	rw.lanes.Add(a.tok, rwSlotRWaitNanos, uint64(rwait))
+	s.histb().rwait.record(a.tok, rwait)
 	q := s.readersNow()
 	if q < 1 {
 		q = 1 // racing decrements can transiently hide even this reader
@@ -657,9 +702,9 @@ func (a Acq) RFailed() {
 func (a Acq) RAborted(timeout bool) {
 	a.RFailed()
 	if timeout {
-		a.st.timeouts.Add(1)
+		a.st.publishAbort(a.st.timeouts.Add(1), "deadline timeout")
 	} else {
-		a.st.cancels.Add(1)
+		a.st.publishAbort(a.st.cancels.Add(1), "context cancel")
 	}
 }
 
@@ -692,7 +737,15 @@ func (s *LockStats) RWaitedPhases(tok uint64, n uint64) {
 // bound — the event that sends an adaptive lock to phase-fair admission.
 func (s *LockStats) RStarvedEvent(tok uint64) {
 	_ = tok
-	s.rw.Load().starved.Add(1)
+	n := s.rw.Load().starved.Add(1)
+	// Rate-limited like abort storms: the first starved reader announces
+	// the condition, every 64th thereafter reports how far it has grown.
+	if s.hub != nil && (n == 1 || n&63 == 0) {
+		s.hub.Publish(Event{
+			Kind: EventStarvation, Key: s.key, Label: s.labelFor(),
+			LockKind: s.kind, Reason: "reader crossed the starvation bound", Count: n,
+		})
+	}
 }
 
 // Transition records a mode change (GLK's holder calls this after flipping
@@ -700,16 +753,29 @@ func (s *LockStats) RStarvedEvent(tok uint64) {
 // per (from, to) edge with the latest occurrence winning.
 func (s *LockStats) Transition(from, to, reason string) {
 	s.cold.Lock()
-	defer s.cold.Unlock()
 	s.mode = to
+	count := uint64(1)
+	found := false
 	for i := range s.transitions {
 		if s.transitions[i].From == from && s.transitions[i].To == to {
 			s.transitions[i].Count++
 			s.transitions[i].Reason = reason
-			return
+			count = s.transitions[i].Count
+			found = true
+			break
 		}
 	}
-	s.transitions = append(s.transitions, Transition{From: from, To: to, Reason: reason, Count: 1})
+	if !found {
+		s.transitions = append(s.transitions, Transition{From: from, To: to, Reason: reason, Count: 1})
+	}
+	label := s.label
+	s.cold.Unlock()
+	if s.hub != nil {
+		s.hub.Publish(Event{
+			Kind: EventTransition, Key: s.key, Label: label, LockKind: s.kind,
+			From: from, To: to, Reason: reason, Count: count,
+		})
+	}
 }
 
 // SetMode records the current mode without counting a transition (initial
@@ -749,6 +815,11 @@ func (s *LockStats) snapshot() LockSnapshot {
 		ls.Acquisitions = 0
 	} else {
 		ls.Acquisitions = ls.Arrivals - ls.TryFails
+	}
+	if h := s.hist.Load(); h != nil {
+		ls.WaitHist = h.wait.sum()
+		ls.HoldHist = h.hold.sum()
+		ls.RWaitHist = h.rwait.sum()
 	}
 	if rwl := s.rw.Load(); rwl != nil {
 		rw := rwl.lanes.SumAll()
@@ -790,6 +861,11 @@ func (r *Registry) Snapshot() *Snapshot {
 		stats = append(stats, st)
 	}
 	retired := r.retired
+	// Clone the histogram slices before dropping the lock: a concurrent
+	// fold mutates their backing arrays in place under the write lock.
+	retired.waitHist = append([]uint64(nil), r.retired.waitHist...)
+	retired.holdHist = append([]uint64(nil), r.retired.holdHist...)
+	retired.rwaitHist = append([]uint64(nil), r.retired.rwaitHist...)
 	r.mu.RUnlock()
 
 	snap := &Snapshot{
@@ -811,6 +887,9 @@ func (r *Registry) Snapshot() *Snapshot {
 			Timeouts:      retired.timeouts,
 			Cancels:       retired.cancels,
 			Transitions:   retired.transitions,
+			WaitHist:      retired.waitHist,
+			HoldHist:      retired.holdHist,
+			RWaitHist:     retired.rwaitHist,
 		},
 	}
 	for _, st := range stats {

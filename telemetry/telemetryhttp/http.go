@@ -17,10 +17,22 @@ import (
 	"gls/telemetry"
 )
 
+// Formats the handler serves, with their Content-Type values. The prom
+// media type pins the exposition format version, per the Prometheus
+// client-library convention.
+const (
+	contentTypeText = "text/plain; charset=utf-8"
+	contentTypeJSON = "application/json"
+	contentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+)
+
 // Handler serves the registry's current snapshot: a /proc/lock_stat-style
-// text report by default, JSON with ?format=json, and at most N locks with
-// ?top=N (the snapshot is already sorted most-contended first, so top=N is
-// "the N worst locks"; 0 means all, matching glsstat's -top flag).
+// text report by default, JSON with ?format=json, Prometheus text
+// exposition with ?format=prom, and at most N locks with ?top=N (the
+// snapshot is already sorted most-contended first, so top=N is "the N
+// worst locks"; 0 means all, matching glsstat's -n flag). Every response
+// carries an explicit Content-Type; an unknown ?format= is a 400 naming
+// the valid set, never a silent fallback to text.
 func Handler(r *telemetry.Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		snap := r.Snapshot()
@@ -36,14 +48,30 @@ func Handler(r *telemetry.Registry) http.Handler {
 		}
 		switch req.URL.Query().Get("format") {
 		case "", "text":
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Header().Set("Content-Type", contentTypeText)
 			_ = snap.WriteText(w)
 		case "json":
-			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Type", contentTypeJSON)
 			_ = snap.WriteJSON(w)
+		case "prom":
+			w.Header().Set("Content-Type", contentTypeProm)
+			_ = snap.WritePromText(w)
 		default:
-			http.Error(w, "glstat: unknown format (want text or json)", http.StatusBadRequest)
+			http.Error(w, `glstat: unknown format (valid: "text", "json", "prom")`, http.StatusBadRequest)
 		}
+	})
+}
+
+// Metrics serves the registry as a Prometheus scrape target — the
+// conventional /metrics endpoint, equivalent to the Handler's ?format=prom
+// but ignoring query parameters, so it can be handed directly to a scrape
+// config:
+//
+//	http.Handle("/metrics", telemetryhttp.Metrics(reg))
+func Metrics(r *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", contentTypeProm)
+		_ = r.Snapshot().WritePromText(w)
 	})
 }
 

@@ -86,11 +86,51 @@ func TestHandlerTop(t *testing.T) {
 }
 
 func TestHandlerBadParams(t *testing.T) {
-	if rec := get(t, testRegistry(t), "/glstat?format=xml"); rec.Code != 400 {
+	rec := get(t, testRegistry(t), "/glstat?format=xml")
+	if rec.Code != 400 {
 		t.Fatalf("format=xml: status %d", rec.Code)
+	}
+	// The rejection names the valid formats instead of silently defaulting.
+	for _, want := range []string{"text", "json", "prom"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("400 body does not list %q:\n%s", want, rec.Body.String())
+		}
 	}
 	if rec := get(t, testRegistry(t), "/glstat?top=-1"); rec.Code != 400 {
 		t.Fatalf("top=-1: status %d", rec.Code)
+	}
+}
+
+func TestHandlerProm(t *testing.T) {
+	rec := get(t, testRegistry(t), "/glstat?format=prom")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE gls_lock_acquisitions_total counter",
+		`gls_lock_acquisitions_total{key="0x10",label="hot",kind="glk",side="write"} 20`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Metrics(testRegistry(t)).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "gls_locks 2") {
+		t.Fatalf("metrics body:\n%s", rec.Body.String())
 	}
 }
 
