@@ -111,6 +111,8 @@ func main() {
 		"run the glsrw read-ratio sweep and write the JSON report to this file (\"-\" for stdout)")
 	fair := flag.String("fair", "",
 		"run the glsfair writer-stream/reader-flood fairness sweep and write the JSON report to this file (\"-\" for stdout)")
+	shard := flag.String("shard", "",
+		"run the shard/batch sweep (handle miss rate under Free churn, LockMany vs singles) and write the JSON report to this file (\"-\" for stdout)")
 	contention := flag.Bool("contention", false,
 		"with -fig 13/14/15: attach a telemetry registry to every lock configuration and print per-role contention after each cell")
 	quick := flag.Bool("quick", false, "short runs for smoke testing")
@@ -137,12 +139,12 @@ func main() {
 		}
 	}
 	reportContention = *contention
-	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality && *rw == "" && *fair == "" {
-		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -rw FILE | -fair FILE | -stat | -cardinality  (figures: %s)\n", knownFigures())
+	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality && *rw == "" && *fair == "" && *shard == "" {
+		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -rw FILE | -fair FILE | -shard FILE | -stat | -cardinality  (figures: %s)\n", knownFigures())
 		os.Exit(2)
 	}
 	jsonSinks := 0
-	for _, path := range []string{*hotpath, *rw, *fair} {
+	for _, path := range []string{*hotpath, *rw, *fair, *shard} {
 		if path == "-" {
 			jsonSinks++
 		}
@@ -151,7 +153,7 @@ func main() {
 		// A "-" sink reserves stdout for one JSON report; the stat and
 		// cardinality text reports (or a second JSON report) would
 		// interleave with it. Run them separately.
-		fmt.Fprintln(os.Stderr, "glsbench: only one of -hotpath -/-rw -/-fair - may own stdout, and not combined with -stat/-cardinality")
+		fmt.Fprintln(os.Stderr, "glsbench: only one of -hotpath -/-rw -/-fair -/-shard - may own stdout, and not combined with -stat/-cardinality")
 		os.Exit(2)
 	}
 
@@ -188,6 +190,15 @@ func main() {
 		fmt.Fprintf(progress, "== glsfair: writer-stream vs reader-flood fairness sweep ==\n")
 		if err := runFair(*fair, progress, o); err != nil {
 			fmt.Fprintf(os.Stderr, "glsbench: -fair: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(progress)
+	}
+
+	if *shard != "" {
+		fmt.Fprintf(progress, "== shard/batch: handle miss rate under Free churn, LockMany vs singles ==\n")
+		if err := runShard(*shard, progress, o); err != nil {
+			fmt.Fprintf(os.Stderr, "glsbench: -shard: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(progress)

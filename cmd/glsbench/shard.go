@@ -1,0 +1,269 @@
+package main
+
+// The -shard family measures what the sharded service core buys and costs:
+//
+//   - handle-churn: worker goroutines hammer their own hot key through a
+//     Handle while one churner creates and Frees keys as fast as it can.
+//     The figure of merit alongside throughput is the handle miss rate —
+//     table re-resolutions per operation. With one shard every Free
+//     invalidates every handle in the process (the pre-shard behavior);
+//     with more shards only the churn shard's handles pay.
+//   - lockmany: batched multi-key acquisition over a shared key universe,
+//     batch sizes swept, against the one-Lock-at-a-time equivalent of the
+//     same ordered key list ("singles"). Reported per key-acquisition, so
+//     the two series are directly comparable.
+//
+// The JSON report (BENCH_gls_shard.json) is the regression baseline for
+// the shard routing and batch paths.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/sysmon"
+	"gls/internal/xrand"
+)
+
+// shardResult is one measured point of the -shard family.
+type shardResult struct {
+	Bench      string  `json:"bench"` // handle-churn | lockmany | lockmany-singles
+	Shards     int     `json:"shards"`
+	Goroutines int     `json:"goroutines"`
+	BatchSize  int     `json:"batch_size,omitempty"`
+	OpsPerSec  float64 `json:"ops_per_sec"` // handle ops, or key-acquisitions for the batch benches
+	NsPerOp    float64 `json:"ns_per_op"`
+	MissRate   float64 `json:"miss_rate,omitempty"` // handle table re-resolutions per op
+}
+
+// shardReport is the file-level JSON schema.
+type shardReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	DurationMS  int64         `json:"duration_ms_per_point"`
+	Reps        int           `json:"reps"`
+	Results     []shardResult `json:"results"`
+}
+
+// shardCounts is the shard axis: 1 (the pre-refactor layout) through 8,
+// covering the default on any plausible CI box.
+func shardCounts() []int { return []int{1, 2, 4, 8} }
+
+// shardWorkerSweep is the goroutine axis for the churn bench: 1, the
+// machine width, and twice it, deduplicated.
+func shardWorkerSweep() []int {
+	p := runtime.GOMAXPROCS(0)
+	set := map[int]bool{1: true, p: true, 2 * p: true}
+	var out []int
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// churnMeasure runs g handle workers for d, returning handle ops/sec and
+// the miss rate. Each worker parks on its own hot key and, every
+// churnEvery-th iteration, churns one random key through create/Free — its
+// own churn in its own program order, so the epoch bump is observed
+// deterministically on the very next hot-key lock regardless of
+// GOMAXPROCS (a separate churner goroutine only gets observed once per
+// scheduler slice on a 1-P box, which would hide the effect being
+// measured). The hot keys and the churned keys hash independently: with
+// one shard every Free invalidates the worker's cache, with n shards only
+// the ~1/n of Frees that land in the hot key's shard do.
+func churnMeasure(mon *sysmon.Monitor, numShards, g int, d time.Duration) (opsSec, missRate float64) {
+	const churnEvery = 16
+	svc := gls.New(gls.Options{
+		NumShards: numShards,
+		GLK:       &glk.Config{Monitor: mon},
+	})
+	defer svc.Close()
+
+	var stop atomic.Bool
+	var ops, misses atomic.Int64
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := svc.NewHandle()
+			rng := xrand.NewSplitMix64(uint64(w)*0x9e3779b9 + 5)
+			k := uint64(w)*0x9e3779b97f4a7c15 | 1
+			h.Lock(k)
+			h.Unlock(k) // warm-up resolution, before the clock
+			warm := h.CacheMisses()
+			start.Wait()
+			local := int64(0)
+			for !stop.Load() {
+				for i := 0; i < churnEvery; i++ {
+					h.Lock(k)
+					h.Unlock(k)
+				}
+				local += churnEvery
+				ck := rng.Next() | 1
+				svc.Lock(ck)
+				svc.Unlock(ck)
+				svc.Free(ck)
+			}
+			ops.Add(local)
+			misses.Add(int64(h.CacheMisses() - warm))
+		}(w)
+	}
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	total := float64(ops.Load())
+	if total == 0 {
+		return 0, 0
+	}
+	return total / elapsed, float64(misses.Load()) / total
+}
+
+// lockmanyMeasure runs g goroutines batch-locking random overlapping
+// subsets of a 64-key universe for d. With singles set it acquires the same
+// sorted, deduplicated keys one Lock at a time — the unbatched control.
+// Returns key-acquisitions/sec.
+func lockmanyMeasure(mon *sysmon.Monitor, numShards, g, batch int, singles bool, d time.Duration) float64 {
+	svc := gls.New(gls.Options{
+		NumShards: numShards,
+		GLK:       &glk.Config{Monitor: mon},
+	})
+	defer svc.Close()
+	const universe = 64
+
+	var stop atomic.Bool
+	var keyOps atomic.Int64
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.NewSplitMix64(seed)
+			keys := make([]uint64, batch)
+			start.Wait()
+			local := int64(0)
+			for !stop.Load() {
+				keys = keys[:0]
+				for len(keys) < batch {
+					keys = append(keys, rng.Uintn(universe)+1)
+				}
+				if singles {
+					// The caller-side equivalent: same total order, same
+					// dedup, one table trip and one lock call per key.
+					sort.Slice(keys, func(i, j int) bool {
+						si, sj := svc.ShardOf(keys[i]), svc.ShardOf(keys[j])
+						if si != sj {
+							return si < sj
+						}
+						return keys[i] < keys[j]
+					})
+					n := 0
+					for i, k := range keys {
+						if i > 0 && k == keys[i-1] {
+							continue
+						}
+						keys[n] = k
+						n++
+					}
+					keys = keys[:n]
+					for _, k := range keys {
+						svc.Lock(k)
+					}
+					for i := len(keys) - 1; i >= 0; i-- {
+						svc.Unlock(keys[i])
+					}
+				} else {
+					svc.LockMany(keys...)
+					svc.UnlockMany(keys...)
+				}
+				local += int64(len(keys))
+			}
+			keyOps.Add(local)
+		}(uint64(w)*2654435761 + 1)
+	}
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return float64(keyOps.Load()) / time.Since(t0).Seconds()
+}
+
+// runShard measures the family and writes the JSON report to path ("-" for
+// stdout), echoing a human-readable table to progress.
+func runShard(path string, progress io.Writer, o opts) error {
+	mon := benchMonitor()
+	defer mon.Stop()
+	report := shardReport{
+		GeneratedBy: "glsbench -shard",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		DurationMS:  o.duration.Milliseconds(),
+		Reps:        o.reps,
+	}
+	for _, shards := range shardCounts() {
+		for _, g := range shardWorkerSweep() {
+			opsSamples := make([]float64, 0, o.reps)
+			missSamples := make([]float64, 0, o.reps)
+			for r := 0; r < o.reps; r++ {
+				ops, miss := churnMeasure(mon, shards, g, o.duration)
+				opsSamples = append(opsSamples, ops)
+				missSamples = append(missSamples, miss)
+			}
+			res := shardResult{
+				Bench: "handle-churn", Shards: shards, Goroutines: g,
+				OpsPerSec: median(opsSamples), MissRate: median(missSamples),
+			}
+			res.NsPerOp = 1e9 / res.OpsPerSec
+			report.Results = append(report.Results, res)
+			fmt.Fprintf(progress, "handle-churn shards=%-3d goroutines=%-3d %12.0f ops/s  %8.1f ns/op  miss-rate %.4f\n",
+				shards, g, res.OpsPerSec, res.NsPerOp, res.MissRate)
+		}
+	}
+	batchG := runtime.GOMAXPROCS(0)
+	if batchG < 2 {
+		batchG = 2
+	}
+	for _, shards := range shardCounts() {
+		for _, batch := range []int{2, 4, 16} {
+			for _, bench := range []string{"lockmany", "lockmany-singles"} {
+				samples := make([]float64, 0, o.reps)
+				for r := 0; r < o.reps; r++ {
+					samples = append(samples,
+						lockmanyMeasure(mon, shards, batchG, batch, bench == "lockmany-singles", o.duration))
+				}
+				res := shardResult{
+					Bench: bench, Shards: shards, Goroutines: batchG, BatchSize: batch,
+					OpsPerSec: median(samples),
+				}
+				res.NsPerOp = 1e9 / res.OpsPerSec
+				report.Results = append(report.Results, res)
+				fmt.Fprintf(progress, "%-16s shards=%-3d batch=%-3d %12.0f keys/s  %8.1f ns/key\n",
+					bench, shards, batch, res.OpsPerSec, res.NsPerOp)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,155 @@
+package main
+
+// -bug freechurn is the sharding pay-off scenario: Free churn confined to
+// one shard must not invalidate handle caches anywhere else. Before the
+// shard refactor the free epoch was service-global — every Free bumped it
+// and every handle in the process re-resolved its key on the next use, no
+// matter how unrelated. With per-shard epochs the blast radius is one
+// shard, and the claim is exact, not statistical: a handle whose key lives
+// outside the churn shard takes its one warm-up table lookup and then ZERO
+// more, counted by Handle.CacheMisses, while a control handle inside the
+// churn shard is required to re-resolve — proving the counter would have
+// caught a violation.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/sysmon"
+)
+
+// shardKeys returns n distinct keys routing to shard want, probing upward
+// from seed.
+func shardKeys(svc *gls.Service, want, n int, seed uint64) []uint64 {
+	out := make([]uint64, 0, n)
+	for k := seed; len(out) < n; k++ {
+		if k != 0 && svc.ShardOf(k) == want {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func runFreeChurn() (string, bool) {
+	const what = "zero cross-shard handle invalidations under Free churn (exact counter)"
+	const numShards = 8
+	rounds := 2000
+	if quickMode {
+		rounds = 200
+	}
+	svc := gls.New(gls.Options{
+		NumShards: numShards,
+		GLK:       &glk.Config{Monitor: sysmon.New(sysmon.Options{DisableProbes: true})},
+	})
+	defer svc.Close()
+
+	// All churn lands in one shard; every worker's hot key lives in one of
+	// the other seven.
+	const churnShard = 0
+	churn := shardKeys(svc, churnShard, 64, 1<<32)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	hot := make([]uint64, workers)
+	for w := range hot {
+		hot[w] = shardKeys(svc, 1+w%(numShards-1), 1, uint64(1<<33)+uint64(w)<<20)[0]
+	}
+	fmt.Printf("churning %d keys in shard %d for %d rounds; %d handle workers parked in shards 1-%d...\n",
+		len(churn), churnShard, rounds, workers, numShards-1)
+
+	// Warm every handle (exactly one miss: the first resolution) behind a
+	// barrier, then churn concurrently: the workers keep locking through
+	// their caches while the churner creates and frees its shard's keys as
+	// fast as it can. The barrier matters on small GOMAXPROCS — without it a
+	// short churn can finish before a worker ever runs, and "exactly one
+	// miss" would be vacuously "zero".
+	misses := make([]uint64, workers)
+	stop := make(chan struct{})
+	var warmed, wg sync.WaitGroup
+	warmed.Add(workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := svc.NewHandle()
+			k := hot[w]
+			h.Lock(k)
+			h.Unlock(k)
+			warmed.Done()
+			for {
+				select {
+				case <-stop:
+					misses[w] = h.CacheMisses()
+					return
+				default:
+				}
+				h.Lock(k)
+				h.Unlock(k)
+			}
+		}(w)
+	}
+	warmed.Wait()
+	for r := 0; r < rounds; r++ {
+		for _, k := range churn {
+			svc.Lock(k)
+			svc.Unlock(k)
+			svc.Free(k)
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // let every worker lap its cache post-churn
+	close(stop)
+	wg.Wait()
+
+	frees := uint64(rounds) * uint64(len(churn))
+	ok := true
+	for w, m := range misses {
+		if m != 1 {
+			fmt.Printf("  worker %d (shard %d): %d cache misses, want exactly 1\n",
+				w, svc.ShardOf(hot[w]), m)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("  %d frees in shard %d; every cross-shard handle took exactly 1 table lookup\n",
+			frees, churnShard)
+	}
+
+	// Control: the counter must be able to move. A handle inside the churn
+	// shard re-resolves after a Free there — same counter, nonzero delta.
+	ctrlKey := shardKeys(svc, churnShard, 1, 1<<40)[0]
+	ctrl := svc.NewHandle()
+	ctrl.Lock(ctrlKey)
+	ctrl.Unlock(ctrlKey)
+	sib := shardKeys(svc, churnShard, 1, 1<<41)[0]
+	svc.Lock(sib)
+	svc.Unlock(sib)
+	svc.Free(sib)
+	ctrl.Lock(ctrlKey)
+	ctrl.Unlock(ctrlKey)
+	if got := ctrl.CacheMisses(); got != 2 {
+		fmt.Printf("  control handle in churn shard: %d misses, want 2 (warm-up + post-Free re-resolve)\n", got)
+		ok = false
+	} else {
+		fmt.Printf("  control handle in shard %d re-resolved after a same-shard Free, as it must\n", churnShard)
+	}
+
+	// Post-storm sanity: the churn shard still serves creates and the shard
+	// stats kept exact books.
+	for _, st := range svc.ShardStats() {
+		if st.Shard == churnShard {
+			if st.Frees < frees {
+				fmt.Printf("  shard %d recorded %d frees, want >= %d\n", churnShard, st.Frees, frees)
+				ok = false
+			}
+		} else if st.FreeEpoch != 0 {
+			fmt.Printf("  shard %d free epoch moved to %d with no Free there\n", st.Shard, st.FreeEpoch)
+			ok = false
+		}
+	}
+	return what, ok
+}

@@ -53,6 +53,7 @@ type scenario struct {
 var scenarios = map[string]scenario{
 	"oversubscription": {custom: runOversubscription},
 	"churn":            {custom: runChurn},
+	"freechurn":        {custom: runFreeChurn},
 	"slowsubscriber":   {custom: runSlowSubscriber},
 	"writerstarvation": {custom: runWriterStarvation},
 	"readerstarvation": {custom: runReaderStarvation},
@@ -745,12 +746,12 @@ var quickMode bool
 
 func main() {
 	bug := flag.String("bug", "all",
-		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, slowsubscriber, writerstarvation, readerstarvation, holderstall, abortstorm, all")
+		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, freechurn, slowsubscriber, writerstarvation, readerstarvation, holderstall, abortstorm, all")
 	quick := flag.Bool("quick", false, "reduced iteration counts (CI smoke runs)")
 	flag.Parse()
 	quickMode = *quick
 
-	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "slowsubscriber", "writerstarvation", "readerstarvation", "holderstall", "abortstorm"}
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "freechurn", "slowsubscriber", "writerstarvation", "readerstarvation", "holderstall", "abortstorm"}
 	if *bug != "all" {
 		if _, ok := scenarios[*bug]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)

@@ -24,22 +24,34 @@ type Handle struct {
 	s        *Service
 	lastKey  uint64
 	lastLock locks.Lock
-	// epoch is the service's free counter at the time the pair was cached
-	// (noFreeEpoch when a Free was in flight then, which never validates).
-	// A Free anywhere in the service bumps freeStart before it touches
-	// the table, so a stale cache — key freed, then possibly remapped to
-	// a brand-new lock — is detected by two atomic loads of one line
-	// instead of a table lookup. Frees are rare; cache hits stay two
-	// compares in the common case.
+	// epoch is the owning shard's free counter at the time the pair was
+	// cached (noFreeEpoch when a Free was in flight then, which never
+	// validates). A Free of any key in the same shard bumps the shard's
+	// freeStart before it touches the table, so a stale cache — key
+	// freed, then possibly remapped to a brand-new lock — is detected by
+	// two atomic loads of one line instead of a table lookup. Frees in
+	// *other* shards leave these counters (and therefore this cache)
+	// alone; that isolation is what Options.NumShards buys. Frees are
+	// rare; cache hits stay two compares in the common case.
 	epoch uint64
+	// lastShard is the shard the cached key routes to — cached alongside
+	// the pair so a hit validates against the right epoch counters
+	// without rehashing the key (key == lastKey implies the shard is
+	// unchanged: shard routing is a pure function of the key).
+	lastShard *shard
 	// lastRW is the cached lock's read-side interface, non-nil exactly
 	// when the cached key is a reader-writer key; RLock/RUnlock hit the
 	// same one-entry cache as Lock/Unlock (the glsrw read path is
 	// latency-sensitive in exactly the way Figure 11 measures for the
 	// exclusive one). It sits after the exclusive-path fields so their
-	// offsets — and the exclusive hit path's memory layout — match the
-	// pre-glsrw handle exactly.
+	// offsets — and the exclusive hit path's memory layout — stay stable.
 	lastRW locks.RWLock
+	// misses counts cache misses — every lookup that had to resolve
+	// through the table, including each key's first use. A handle is
+	// single-goroutine by contract, so this is a plain field; CacheMisses
+	// exposes it, and the freechurn stress asserts it stays *exactly*
+	// flat in shards no Free touches.
+	misses uint64
 }
 
 // noFreeEpoch is the cache-epoch sentinel for pairs resolved while a Free
@@ -55,32 +67,41 @@ func (s *Service) NewHandle() *Handle {
 
 // cacheHit reports whether the cached pair may be used for key.
 //
-// The staleness protocol (see Service.freeStart): a hit requires both free
-// counters to equal the cached epoch — freeStart catches any Free that has
-// so much as begun since the pair was resolved, freeDone catches Frees
-// that were already mid-delete back then.
+// The staleness protocol (see shard.freeStart): a hit requires both of the
+// cached shard's free counters to equal the cached epoch — freeStart
+// catches any Free in that shard that has so much as begun since the pair
+// was resolved, freeDone catches Frees that were already mid-delete back
+// then. Frees in other shards move other counters and cannot miss us.
 func (h *Handle) cacheHit(key uint64) bool {
 	if key != h.lastKey || h.lastLock == nil {
 		return false
 	}
-	e := h.s.freeDone.Load()
-	return e == h.epoch && h.s.freeStart.Load() == e
+	e := h.lastShard.freeDone.Load()
+	return e == h.epoch && h.lastShard.freeStart.Load() == e
 }
 
-// cacheStore records a resolved entry while the free counters read (start,
-// done). start and done must have been loaded, in that field order done
-// then start, *before* resolving the lock: the pair is only trusted when
-// no Free was in flight across the resolution, so a lookup racing a delete
-// can cache but never hit. Both interfaces of the entry are cached (rw is
-// nil for exclusive keys), so a key's read and write paths share the one
-// cache slot.
-func (h *Handle) cacheStore(key uint64, e *entry, start, done uint64) {
+// cacheStore records a resolved entry while its shard's free counters read
+// (start, done). start and done must have been loaded, in that field order
+// done then start, *before* resolving the lock: the pair is only trusted
+// when no Free was in flight across the resolution, so a lookup racing a
+// delete can cache but never hit. Both interfaces of the entry are cached
+// (rw is nil for exclusive keys), so a key's read and write paths share the
+// one cache slot.
+func (h *Handle) cacheStore(key uint64, sh *shard, e *entry, start, done uint64) {
 	epoch := start
 	if start != done {
 		epoch = noFreeEpoch // a Free was in flight: never trust this pair
 	}
-	h.lastKey, h.lastLock, h.lastRW, h.epoch = key, e.lock, e.rw, epoch
+	h.lastKey, h.lastLock, h.lastRW, h.lastShard, h.epoch = key, e.lock, e.rw, sh, epoch
 }
+
+// CacheMisses reports how many lookups through this handle missed the
+// one-entry cache and resolved via the table, including each key's first
+// use. It is the exact observable behind the per-shard epoch isolation
+// claim: park a handle on a hot key, Free-churn keys in other shards, and
+// this counter must not move (lockstress -bug freechurn; glsbench -shard
+// reports the rate).
+func (h *Handle) CacheMisses() uint64 { return h.misses }
 
 // lookup resolves key via the one-entry cache, creating the entry on a
 // first use. A Free racing the acquisition itself (resolve, then the lock
@@ -90,10 +111,12 @@ func (h *Handle) lookup(key uint64) locks.Lock {
 	if h.cacheHit(key) {
 		return h.lastLock
 	}
-	done := h.s.freeDone.Load()
-	start := h.s.freeStart.Load()
-	e, _ := h.s.entryFor(key, algoGLK)
-	h.cacheStore(key, e, start, done)
+	h.misses++
+	sh := h.s.shardOf(key)
+	done := sh.freeDone.Load()
+	start := sh.freeStart.Load()
+	e, _ := h.s.entryIn(sh, key, algoGLK)
+	h.cacheStore(key, sh, e, start, done)
 	return e.lock
 }
 
@@ -117,13 +140,15 @@ func (h *Handle) lookupExisting(key uint64) locks.Lock {
 	if h.cacheHit(key) {
 		return h.lastLock
 	}
-	done := h.s.freeDone.Load()
-	start := h.s.freeStart.Load()
-	e := h.s.table.Get(key)
+	h.misses++
+	sh := h.s.shardOf(key)
+	done := sh.freeDone.Load()
+	start := sh.freeStart.Load()
+	e := sh.table.Get(key)
 	if e == nil {
 		panic(fmt.Sprintf("gls: Unlock(%#x): key was never locked", key))
 	}
-	h.cacheStore(key, e, start, done)
+	h.cacheStore(key, sh, e, start, done)
 	return e.lock
 }
 
@@ -143,10 +168,12 @@ func (h *Handle) lookupRW(key uint64) locks.RWLock {
 	if h.cacheHit(key) && h.lastRW != nil {
 		return h.lastRW
 	}
-	done := h.s.freeDone.Load()
-	start := h.s.freeStart.Load()
-	e, _ := h.s.entryForRW(key, algoGLKRW)
-	h.cacheStore(key, e, start, done)
+	h.misses++
+	sh := h.s.shardOf(key)
+	done := sh.freeDone.Load()
+	start := sh.freeStart.Load()
+	e, _ := h.s.entryRWIn(sh, key, algoGLKRW)
+	h.cacheStore(key, sh, e, start, done)
 	return e.rw
 }
 
@@ -156,16 +183,18 @@ func (h *Handle) lookupExistingRW(key uint64) locks.RWLock {
 	if h.cacheHit(key) && h.lastRW != nil {
 		return h.lastRW
 	}
-	done := h.s.freeDone.Load()
-	start := h.s.freeStart.Load()
-	e := h.s.table.Get(key)
+	h.misses++
+	sh := h.s.shardOf(key)
+	done := sh.freeDone.Load()
+	start := sh.freeStart.Load()
+	e := sh.table.Get(key)
 	if e == nil {
 		panic(fmt.Sprintf("gls: RUnlock(%#x): key was never locked", key))
 	}
 	if e.rw == nil {
 		panic(fmt.Sprintf("gls: RUnlock(%#x): key is mapped to an exclusive lock", key))
 	}
-	h.cacheStore(key, e, start, done)
+	h.cacheStore(key, sh, e, start, done)
 	return e.rw
 }
 
@@ -185,10 +214,10 @@ func (h *Handle) RUnlock(key uint64) {
 	h.lookupExistingRW(key).RUnlock()
 }
 
-// Invalidate drops the cached pair. Since Free already advances the
-// service-wide epoch the cache checks, this is only needed when the caller
+// Invalidate drops the cached pair. Since Free already advances the owning
+// shard's epoch the cache checks, this is only needed when the caller
 // wants to drop the reference to the lock object itself (e.g. to let a
 // freed lock be collected promptly).
 func (h *Handle) Invalidate() {
-	h.lastKey, h.lastLock, h.lastRW = 0, nil, nil
+	h.lastKey, h.lastLock, h.lastRW, h.lastShard = 0, nil, nil, nil
 }

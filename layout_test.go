@@ -8,19 +8,46 @@ import (
 )
 
 // TestServiceFreeEpochLayout pins the free-counter placement the handle
-// cache-hit path depends on (see the Service doc): the freeStart/freeDone
-// pair must sit 16-aligned, where Go's 16-aligned size classes cannot
-// split it across cache lines. An Options field once pushed the pair over
-// a line boundary and slowed every handle hit by an extra line touch.
+// cache-hit path depends on (see the shard doc): each shard's
+// freeStart/freeDone pair must sit 16-aligned, where Go's 16-aligned size
+// classes cannot split it across cache lines. An Options field once pushed
+// the (then service-global) pair over a line boundary and slowed every
+// handle hit by an extra line touch; with sharding the same regression
+// class exists ×NumShards, so the pin checks the struct offsets AND every
+// shard of a live 8-way service.
 func TestServiceFreeEpochLayout(t *testing.T) {
-	var s Service
-	start := unsafe.Offsetof(s.freeStart)
-	done := unsafe.Offsetof(s.freeDone)
+	var sh shard
+	start := unsafe.Offsetof(sh.freeStart)
+	done := unsafe.Offsetof(sh.freeDone)
 	if done != start+8 {
 		t.Errorf("freeDone at %d, want adjacent to freeStart at %d", done, start)
 	}
 	if start%16 != 0 {
 		t.Errorf("freeStart at offset %d, not 16-aligned", start)
+	}
+	// The whole shard must be a multiple of the line size: slice elements
+	// are laid out back to back, so any smaller unit would let a later
+	// shard's pair drift off alignment — and put two shards' epoch words on
+	// one line, re-creating cross-shard invalidation at the cache level.
+	if s := unsafe.Sizeof(sh); s%pad.CacheLineSize != 0 {
+		t.Errorf("shard is %d bytes, not a multiple of %d", s, pad.CacheLineSize)
+	}
+	svc := New(Options{NumShards: 8})
+	defer svc.Close()
+	for i := range svc.shards {
+		addr := uintptr(unsafe.Pointer(&svc.shards[i].freeStart))
+		if addr%16 != 0 {
+			t.Errorf("shard %d: freeStart at address %#x, not 16-aligned", i, addr)
+		}
+		if addr/pad.CacheLineSize != (addr+15)/pad.CacheLineSize {
+			t.Errorf("shard %d: epoch pair straddles a cache line (addr %#x)", i, addr)
+		}
+		if i > 0 {
+			prev := uintptr(unsafe.Pointer(&svc.shards[i-1].freeStart))
+			if addr/pad.CacheLineSize == prev/pad.CacheLineSize {
+				t.Errorf("shards %d and %d share an epoch cache line", i-1, i)
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync/atomic"
 	"time"
 	"unsafe"
@@ -90,11 +91,29 @@ type Options struct {
 	// admission on observed reader starvation or a sustained writer
 	// stream, and the blocking write-preferring mode under
 	// multiprogramming (glsfair; the policy knobs — StarveBackouts,
-	// FairPeriods, Monitor — live on glk.RWConfig). (Declared last so the
-	// earlier fields — and everything in Service behind them — keep their
-	// pre-glsrw offsets; the free-epoch counters' shared-line comment
-	// depends on the layout.)
+	// FairPeriods, Monitor — live on glk.RWConfig).
 	GLKRW *glk.RWConfig
+
+	// NumShards partitions the key→lock table: each shard owns its own
+	// clht table and its own free-epoch pair, so a Free only invalidates
+	// handle caches in the freed key's shard and table growth locks never
+	// cross shards. Must be a power of two. 0 selects a GOMAXPROCS-derived
+	// default (the next power of two ≥ GOMAXPROCS at New, capped at 256);
+	// 1 is the pre-shard single-table behavior — the fast path then skips
+	// the shard hash entirely. Keys are routed with a different mix than
+	// the tables' own bucket hash, so shard choice and bucket choice stay
+	// independent (see shardMix).
+	NumShards int
+}
+
+// Validate reports configuration errors. New panics on the first one; call
+// Validate directly to check options built from external input (a config
+// file, a future glsd handshake) before they reach New.
+func (o Options) Validate() error {
+	if o.NumShards < 0 || o.NumShards&(o.NumShards-1) != 0 {
+		return fmt.Errorf("gls: NumShards %d is not a power of two (use 1, 2, 4, ...; 0 selects the GOMAXPROCS-derived default)", o.NumShards)
+	}
+	return nil
 }
 
 // entryHeader is the read-only part of an entry: written once at creation,
@@ -144,13 +163,77 @@ type entry struct {
 // accounting (glsbench -cardinality).
 const EntryBytes = unsafe.Sizeof(entry{})
 
-// Service is one GLS instance: a concurrent key→lock table plus the
+// shard is one partition of the service: a clht table plus the free-epoch
+// pair that guards handle caches for this shard's keys. Shards are the unit
+// of Free isolation — a Free bumps only its own shard's counters, so handle
+// caches pointing into other shards keep hitting (the pre-shard service was
+// exactly one of these, and NumShards=1 still is).
+//
+// Layout is pinned by layout_test.go: the epoch pair starts at offset 16
+// within the shard and the shard is a whole number of 16-byte units, so in
+// the shards slice — whose backing array Go aligns to the element's natural
+// requirement inside 16-multiple size classes — every shard's pair is
+// 16-aligned and can never straddle a cache line (the PR 4 regression
+// class, now per shard). The trailing pad rounds the shard to a full cache
+// line so one shard's epoch line is never written by a neighbor's Free.
+type shard struct {
+	shardHeader
+	_ [(pad.CacheLineSize - unsafe.Sizeof(shardHeader{})%pad.CacheLineSize) % pad.CacheLineSize]byte
+}
+
+// shardHeader is the populated part of a shard; the embedding shard pads it
+// to a whole number of cache lines (same idiom as entry/entryHeader).
+type shardHeader struct {
+	table *clht.Table[entry]
+
+	// idx is this shard's position in Service.shards, stamped at New for
+	// telemetry registration and the ShardStats report.
+	idx uint32
+	_   [4]byte // keeps the epoch pair below at offset 16
+
+	// freeStart/freeDone count this shard's Free calls, seqlock style:
+	// freeStart is bumped before the table delete, freeDone after, so the
+	// pair is equal exactly when no Free is in flight. Handles validate
+	// their cached (key, lock) pair against the owning shard's counters
+	// and only cache when the pair was equal at resolution, so a key
+	// freed and remapped by another goroutine cannot be locked through a
+	// stale cache — including caches populated while a Free was
+	// mid-delete, and with any number of concurrent Frees (see handle.go).
+	// The counters share a cache line, so the hit-path check is two loads
+	// of one line that only changes when something in *this shard* is
+	// freed.
+	freeStart atomic.Uint64
+	freeDone  atomic.Uint64
+
+	// creates counts entries built in this shard; frees counts mappings
+	// Free actually removed. The difference from table.Len gives churn at
+	// a glance (glsbench -shard, ShardStats).
+	creates atomic.Uint64
+	frees   atomic.Uint64
+}
+
+// Service is one GLS instance: a sharded concurrent key→lock table plus the
 // optional debug and profile machinery. Create with New; a Service must not
 // be copied.
 type Service struct {
-	opts  Options
-	table *clht.Table[entry]
-	dbg   *debugState // nil unless Options.Debug
+	opts Options
+
+	// shards is the partitioned table front-end, length Options.NumShards
+	// (a power of two). shardMask is len(shards)-1; zero means one shard,
+	// and shardOf then skips the hash — the NumShards=1 fast path is the
+	// pre-shard one plus a single predictable branch.
+	shards    []shard
+	shardMask uint64
+
+	// table0 is shards[0].table when the service has exactly one shard,
+	// nil otherwise. Hoisting it lets the NumShards=1 hot path resolve
+	// keys with one load and a nil test — the same dependent-load chain
+	// the pre-shard service had, with no slice-header hop, no shard-mask
+	// read, and no shard hash. Multi-shard services leave it nil and take
+	// the masked-index arm.
+	table0 *clht.Table[entry]
+
+	dbg *debugState // nil unless Options.Debug
 
 	// tele is the telemetry registry the service's locks feed, nil when
 	// telemetry (and profiling) are off. It is consulted only at entry
@@ -166,33 +249,123 @@ type Service struct {
 	// the lock objects when entries are built.)
 	fast bool
 
-	// The pad keeps the free-counter pair below 16-byte aligned: every
-	// heap size class that can hold a Service is a multiple of 16, so a
-	// 16-aligned 16-byte span can never straddle a cache line, whatever
-	// the allocator does. layout_test.go pins the alignment (an Options
-	// field once pushed the pair across a line boundary, putting a second
-	// line on every handle cache hit).
-	_ [8]byte
-
-	// freeStart/freeDone count Free calls, seqlock style: freeStart is
-	// bumped before the table delete, freeDone after, so the pair is equal
-	// exactly when no Free is in flight. Handles validate their cached
-	// (key, lock) pair against both counters and only cache when the pair
-	// was equal at resolution, so a key freed and remapped by another
-	// goroutine cannot be locked through a stale cache — including caches
-	// populated while a Free was mid-delete, and with any number of
-	// concurrent Frees (see handle.go). The counters share a cache line,
-	// so the hit-path check is two loads of one line that only changes
-	// when something is freed.
-	freeStart atomic.Uint64
-	freeDone  atomic.Uint64
+	// sharded is len(shards) > 1: telemetry registrations then carry the
+	// shard index so snapshots can roll up per shard. A single-shard
+	// service registers exactly as before, keeping its telemetry output
+	// byte-identical to the pre-shard service.
+	sharded bool
 
 	issueCounts [issueKindCount]atomic.Uint64
 	closed      atomic.Bool
 }
 
-// New returns a ready Service (gls_init).
+// shardMix spreads a key over the shards. It must not be the table's own
+// bucket hash: clht indexes buckets with the LOW bits of a splitmix64
+// finalizer, and masking the same bits here would make every shard's table
+// see only 1/NumShards of the bucket space. This is the murmur3 fmix64
+// finalizer — different constants, so the two indices are independent.
+func shardMix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// defaultNumShards derives Options.NumShards=0: the next power of two ≥
+// GOMAXPROCS, capped at 256 (beyond that the per-shard tables are too empty
+// to matter and ShardStats reports get silly).
+func defaultNumShards() int {
+	p := runtime.GOMAXPROCS(0)
+	n := 1
+	for n < p && n < 256 {
+		n <<= 1
+	}
+	return n
+}
+
+// shardIdx maps a key to its shard index. The mask==0 short-circuit keeps
+// the NumShards=1 configuration off the hash entirely.
+func (s *Service) shardIdx(key uint64) uint64 {
+	if s.shardMask == 0 {
+		return 0
+	}
+	return shardMix(key) & s.shardMask
+}
+
+// shardOf maps a key to its shard.
+func (s *Service) shardOf(key uint64) *shard {
+	return &s.shards[s.shardIdx(key)]
+}
+
+// tableFor routes a key to its shard's table. The table0 arm keeps a
+// single-shard service on the pre-shard load chain: one pointer load whose
+// nil test doubles as the "am I sharded?" branch. tableFor is small enough
+// to inline, so the hot entry points write s.tableFor(key).Get(key) and the
+// whole resolution flattens into them exactly as the pre-shard s.table.Get
+// did (getEntry bundles the two calls for the paths where an extra frame
+// doesn't matter, but itself exceeds the inlining budget).
+func (s *Service) tableFor(key uint64) *clht.Table[entry] {
+	if t := s.table0; t != nil {
+		return t
+	}
+	return s.shards[shardMix(key)&s.shardMask].table
+}
+
+// getEntry resolves a key through the shard front-end without creating it —
+// the shared read step behind every fast path and release path.
+func (s *Service) getEntry(key uint64) *entry {
+	return s.tableFor(key).Get(key)
+}
+
+// NumShards reports how many shards partition the service's table.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// ShardOf reports the shard index key routes to — for tests, benchmarks,
+// and tools that need to construct same-shard or cross-shard key sets (the
+// freechurn stress probes this to prove epoch isolation).
+func (s *Service) ShardOf(key uint64) int { return int(s.shardIdx(key)) }
+
+// ShardInfo is one shard's occupancy snapshot (ShardStats).
+type ShardInfo struct {
+	// Shard is the shard index.
+	Shard int
+	// Locks is the number of lock objects currently mapped in the shard.
+	Locks int
+	// Creates counts entries ever built in the shard.
+	Creates uint64
+	// Frees counts mappings Free removed from the shard.
+	Frees uint64
+	// FreeEpoch is the shard's completed-Free counter — the value handle
+	// caches validate against. It advances on every Free of a key routed
+	// here (mapped or not), so two snapshots with equal FreeEpoch bracket
+	// a window in which no handle cache in this shard was invalidated.
+	FreeEpoch uint64
+}
+
+// ShardStats reports per-shard occupancy and churn, in shard order.
+func (s *Service) ShardStats() []ShardInfo {
+	out := make([]ShardInfo, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out[i] = ShardInfo{
+			Shard:     i,
+			Locks:     sh.table.Len(),
+			Creates:   sh.creates.Load(),
+			Frees:     sh.frees.Load(),
+			FreeEpoch: sh.freeDone.Load(),
+		}
+	}
+	return out
+}
+
+// New returns a ready Service (gls_init). It panics on invalid Options
+// (see Options.Validate).
 func New(opts Options) *Service {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	if opts.DeadlockCheckInterval <= 0 {
 		opts.DeadlockCheckInterval = 250 * time.Millisecond
 	}
@@ -208,11 +381,27 @@ func New(opts Options) *Service {
 		// every acquisition, matching the paper's per-operation profiling.
 		tele = telemetry.New(telemetry.Options{SamplePeriod: 1})
 	}
+	n := opts.NumShards
+	if n == 0 {
+		n = defaultNumShards()
+	}
+	// Split the size hint across shards (rounded up) so the aggregate
+	// pre-sized capacity matches what the caller asked for.
+	hint := (opts.SizeHint + n - 1) / n
 	s := &Service{
-		opts:  opts,
-		table: clht.New[entry](opts.SizeHint),
-		tele:  tele,
-		fast:  !opts.Debug,
+		opts:      opts,
+		shards:    make([]shard, n),
+		shardMask: uint64(n - 1),
+		tele:      tele,
+		fast:      !opts.Debug,
+		sharded:   n > 1,
+	}
+	for i := range s.shards {
+		s.shards[i].table = clht.New[entry](hint)
+		s.shards[i].idx = uint32(i)
+	}
+	if n == 1 {
+		s.table0 = s.shards[0].table
 	}
 	if opts.Debug {
 		s.dbg = newDebugState()
@@ -243,11 +432,12 @@ func (s *Service) Close() {
 // its config, any explicit algorithm is wrapped by telemetry.Instrument,
 // and without a registry the locks are built exactly as before — the
 // lock/unlock paths never branch on whether telemetry is on.
-func (s *Service) newEntry(key uint64, algo locks.Algorithm) func() *entry {
+func (s *Service) newEntry(sh *shard, key uint64, algo locks.Algorithm) func() *entry {
 	return func() *entry {
+		sh.creates.Add(1)
 		e := &entry{entryHeader: entryHeader{key: key, algo: algo}}
 		if s.tele != nil {
-			st := s.tele.Register(key, algoName(algo))
+			st := s.registerLock(sh, key, algoName(algo))
 			if algo == algoGLK {
 				var cfg glk.Config
 				if s.opts.GLK != nil {
@@ -269,13 +459,30 @@ func (s *Service) newEntry(key uint64, algo locks.Algorithm) func() *entry {
 	}
 }
 
+// registerLock registers a new lock with the telemetry registry, carrying
+// the shard index when the service is sharded (single-shard services
+// register exactly as the pre-shard service did, so their telemetry output
+// is unchanged).
+func (s *Service) registerLock(sh *shard, key uint64, kind string) *telemetry.LockStats {
+	if s.sharded {
+		return s.tele.RegisterSharded(key, kind, int(sh.idx))
+	}
+	return s.tele.Register(key, kind)
+}
+
 // entryFor maps a key to its lock entry, creating it with algo on first
 // use. The boolean reports whether this call created the entry.
 func (s *Service) entryFor(key uint64, algo locks.Algorithm) (*entry, bool) {
+	return s.entryIn(s.shardOf(key), key, algo)
+}
+
+// entryIn is entryFor for a key whose shard the caller already resolved
+// (handles cache the shard; LockMany resolves whole per-shard runs).
+func (s *Service) entryIn(sh *shard, key uint64, algo locks.Algorithm) (*entry, bool) {
 	if key == 0 {
 		panic("gls: zero key (the paper's NULL) is not a valid lock")
 	}
-	return s.table.GetOrInsert(key, s.newEntry(key, algo))
+	return sh.table.GetOrInsert(key, s.newEntry(sh, key, algo))
 }
 
 // Lock acquires the GLK lock for key, creating it on first use (gls_lock).
@@ -286,7 +493,7 @@ func (s *Service) entryFor(key uint64, algo locks.Algorithm) (*entry, bool) {
 // service) goes through the general path.
 func (s *Service) Lock(key uint64) {
 	if s.fast {
-		if e := s.table.Get(key); e != nil {
+		if e := s.tableFor(key).Get(key); e != nil {
 			e.lock.Lock()
 			return
 		}
@@ -318,7 +525,7 @@ func (s *Service) lockWith(a locks.Algorithm, key uint64) {
 // TryLock try-acquires the GLK lock for key (gls_trylock).
 func (s *Service) TryLock(key uint64) bool {
 	if s.fast {
-		if e := s.table.Get(key); e != nil {
+		if e := s.tableFor(key).Get(key); e != nil {
 			return e.lock.TryLock()
 		}
 	}
@@ -354,7 +561,7 @@ func (s *Service) Unlock(key uint64) {
 	if key == 0 {
 		panic("gls: zero key (the paper's NULL) is not a valid lock")
 	}
-	e := s.table.Get(key)
+	e := s.tableFor(key).Get(key)
 	if s.fast {
 		if e == nil {
 			panic(fmt.Sprintf("gls: Unlock(%#x): key was never locked", key))
@@ -372,7 +579,7 @@ func (s *Service) UnlockWith(a locks.Algorithm, key uint64) {
 		panic(fmt.Sprintf("gls: UnlockWith(%v): unknown algorithm", a))
 	}
 	if s.dbg != nil {
-		if e := s.table.Get(key); e != nil && e.algo != a {
+		if e := s.getEntry(key); e != nil && e.algo != a {
 			s.report(Issue{
 				Kind:      IssueAlgorithmMismatch,
 				Key:       key,
@@ -418,8 +625,9 @@ func (s *Service) Free(key uint64) {
 	if key == 0 {
 		return
 	}
+	sh := s.shardOf(key)
 	if s.dbg != nil {
-		if e := s.table.Get(key); e != nil {
+		if e := sh.table.Get(key); e != nil {
 			if owner := e.owner.Load(); owner != 0 {
 				s.report(Issue{
 					Kind:      IssueFreeHeld,
@@ -443,19 +651,31 @@ func (s *Service) Free(key uint64) {
 		// incarnation registers fresh and stays visible.
 		s.tele.Unregister(key)
 	}
-	// Bracket the delete with the free counters (see the freeStart field
-	// and Handle.lookup): freeStart makes every handle cache populated
-	// before this point miss, and the start/done inequality keeps lookups
-	// that run *during* the delete from caching at all. Both are bumped
-	// unconditionally (even for an unmapped key) so the pair stays equal
-	// at rest; Free is rare, so the spurious invalidation is noise.
-	s.freeStart.Add(1)
-	s.table.Delete(key)
-	s.freeDone.Add(1)
+	// Bracket the delete with the owning shard's free counters (see the
+	// shard.freeStart field and Handle.lookup): freeStart makes every
+	// handle cache populated before this point miss, and the start/done
+	// inequality keeps lookups that run *during* the delete from caching
+	// at all. Both are bumped unconditionally (even for an unmapped key)
+	// so the pair stays equal at rest; Free is rare, so the spurious
+	// invalidation is noise. Handles whose cached key lives in another
+	// shard never see these counters move — that isolation is the point
+	// of sharding (lockstress -bug freechurn asserts it exactly).
+	sh.freeStart.Add(1)
+	if sh.table.Delete(key) != nil {
+		sh.frees.Add(1)
+	}
+	sh.freeDone.Add(1)
 }
 
-// Locks returns the number of lock objects currently mapped.
-func (s *Service) Locks() int { return s.table.Len() }
+// Locks returns the number of lock objects currently mapped, summed over
+// the shards.
+func (s *Service) Locks() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].table.Len()
+	}
+	return n
+}
 
 // algoName names an entry's algorithm, including the GLK default.
 func algoName(a locks.Algorithm) string {
@@ -470,7 +690,7 @@ func algoName(a locks.Algorithm) string {
 // ("decide on a pre-determined lock algorithm that is the most suitable for
 // a given lock object", §4.3).
 func (s *Service) GLKStats(key uint64) (glk.Stats, bool) {
-	e := s.table.Get(key)
+	e := s.getEntry(key)
 	if e == nil || e.algo != algoGLK {
 		return glk.Stats{}, false
 	}

@@ -57,7 +57,7 @@ func (s *Service) LockCtx(ctx context.Context, key uint64) error {
 		return nil
 	}
 	if s.fast {
-		if e := s.table.Get(key); e != nil {
+		if e := s.tableFor(key).Get(key); e != nil {
 			if locks.LockWithCancel(e.lock, c) {
 				return nil
 			}
@@ -79,7 +79,7 @@ func (s *Service) TryLockFor(key uint64, d time.Duration) bool {
 	}
 	c := &locks.Cancel{Deadline: time.Now().Add(d)}
 	if s.fast {
-		if e := s.table.Get(key); e != nil {
+		if e := s.tableFor(key).Get(key); e != nil {
 			return locks.LockWithCancel(e.lock, c)
 		}
 	}
@@ -125,7 +125,7 @@ func (s *Service) RLockCtx(ctx context.Context, key uint64) error {
 		return nil
 	}
 	if s.fast {
-		if e := s.table.Get(key); e != nil {
+		if e := s.tableFor(key).Get(key); e != nil {
 			if e.rw == nil {
 				s.entryForRW(key, algoGLKRW) // panics with the species message
 			}
@@ -150,7 +150,7 @@ func (s *Service) TryRLockFor(key uint64, d time.Duration) bool {
 	}
 	c := &locks.Cancel{Deadline: time.Now().Add(d)}
 	if s.fast {
-		if e := s.table.Get(key); e != nil {
+		if e := s.tableFor(key).Get(key); e != nil {
 			if e.rw == nil {
 				s.entryForRW(key, algoGLKRW)
 			}

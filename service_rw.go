@@ -40,11 +40,12 @@ func rwAlgoName(a locks.RWAlgorithm) string {
 // algorithm is wrapped by telemetry.InstrumentRW, and without a registry
 // the locks are built bare. The entry's exclusive lock aliases the write
 // side.
-func (s *Service) newRWEntry(key uint64, a locks.RWAlgorithm) func() *entry {
+func (s *Service) newRWEntry(sh *shard, key uint64, a locks.RWAlgorithm) func() *entry {
 	return func() *entry {
+		sh.creates.Add(1)
 		e := &entry{entryHeader: entryHeader{key: key, rwalgo: a}}
 		if s.tele != nil {
-			st := s.tele.Register(key, rwAlgoName(a))
+			st := s.registerLock(sh, key, rwAlgoName(a))
 			if a == algoGLKRW {
 				var cfg glk.RWConfig
 				if s.opts.GLKRW != nil {
@@ -69,10 +70,16 @@ func (s *Service) newRWEntry(key uint64, a locks.RWAlgorithm) func() *entry {
 // algorithm a on first use. It panics when the key is already mapped to an
 // exclusive lock (debug mode reports the mismatch first).
 func (s *Service) entryForRW(key uint64, a locks.RWAlgorithm) (*entry, bool) {
+	return s.entryRWIn(s.shardOf(key), key, a)
+}
+
+// entryRWIn is entryForRW for a key whose shard the caller already resolved
+// — the RW twin of entryIn.
+func (s *Service) entryRWIn(sh *shard, key uint64, a locks.RWAlgorithm) (*entry, bool) {
 	if key == 0 {
 		panic("gls: zero key (the paper's NULL) is not a valid lock")
 	}
-	e, created := s.table.GetOrInsert(key, s.newRWEntry(key, a))
+	e, created := sh.table.GetOrInsert(key, s.newRWEntry(sh, key, a))
 	if e.rw == nil {
 		s.reportRWMismatch(key, "reader-writer use of a key mapped to an exclusive lock")
 		panic(fmt.Sprintf("gls: key %#x is mapped to an exclusive lock; RW entry points need an RW key (use a fresh key or InitRWLock first)", key))
@@ -104,7 +111,7 @@ func (s *Service) reportRWMismatch(key uint64, msg string) {
 // of the shared line).
 func (s *Service) RLock(key uint64) {
 	if s.fast {
-		if e := s.table.Get(key); e != nil {
+		if e := s.tableFor(key).Get(key); e != nil {
 			if e.rw == nil {
 				s.entryForRW(key, algoGLKRW) // panics with the species message
 			}
@@ -137,7 +144,7 @@ func (s *Service) rlockWith(a locks.RWAlgorithm, key uint64) {
 // TryRLock try-acquires a read share of key's reader-writer lock.
 func (s *Service) TryRLock(key uint64) bool {
 	if s.fast {
-		if e := s.table.Get(key); e != nil {
+		if e := s.tableFor(key).Get(key); e != nil {
 			if e.rw == nil {
 				s.entryForRW(key, algoGLKRW)
 			}
@@ -170,7 +177,7 @@ func (s *Service) RUnlock(key uint64) {
 	if key == 0 {
 		panic("gls: zero key (the paper's NULL) is not a valid lock")
 	}
-	e := s.table.Get(key)
+	e := s.tableFor(key).Get(key)
 	if s.fast {
 		if e == nil {
 			panic(fmt.Sprintf("gls: RUnlock(%#x): key was never locked", key))
@@ -211,7 +218,7 @@ func (s *Service) initRWLockWith(a locks.RWAlgorithm, key uint64) {
 
 // IsRWKey reports whether key is currently mapped to a reader-writer lock.
 func (s *Service) IsRWKey(key uint64) bool {
-	e := s.table.Get(key)
+	e := s.getEntry(key)
 	return e != nil && e.rw != nil
 }
 
@@ -219,7 +226,7 @@ func (s *Service) IsRWKey(key uint64) bool {
 // is mapped to an adaptive (default) reader-writer lock — the RW twin of
 // GLKStats, supporting the same transition-tracing workflow.
 func (s *Service) GLKRWStats(key uint64) (glk.RWStats, bool) {
-	e := s.table.Get(key)
+	e := s.getEntry(key)
 	if e == nil || e.rw == nil || e.rwalgo != algoGLKRW {
 		return glk.RWStats{}, false
 	}

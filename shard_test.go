@@ -1,0 +1,244 @@
+package gls
+
+import (
+	"strings"
+	"testing"
+
+	"gls/telemetry"
+)
+
+// keysInShard returns n distinct non-zero keys that all route to shard want,
+// found by probing ShardOf from a seed — the same technique the freechurn
+// stress uses to build same-shard and cross-shard key sets.
+func keysInShard(t *testing.T, s *Service, want int, n int, seed uint64) []uint64 {
+	t.Helper()
+	out := make([]uint64, 0, n)
+	for k := seed; len(out) < n; k++ {
+		if k == 0 {
+			continue
+		}
+		if s.ShardOf(k) == want {
+			out = append(out, k)
+		}
+		if k > seed+1<<20 {
+			t.Fatalf("no %d keys found in shard %d near %#x", n, want, seed)
+		}
+	}
+	return out
+}
+
+// TestShardRouting checks the shard front-end's basic contract: the default
+// shard count is a power of two, routing is stable, every shard is
+// reachable, and a single-shard service routes everything to shard 0.
+func TestShardRouting(t *testing.T) {
+	s := New(Options{NumShards: 8})
+	defer s.Close()
+	if s.NumShards() != 8 {
+		t.Fatalf("NumShards() = %d, want 8", s.NumShards())
+	}
+	hit := make(map[int]bool)
+	for k := uint64(1); k <= 4096; k++ {
+		sh := s.ShardOf(k)
+		if sh < 0 || sh >= 8 {
+			t.Fatalf("ShardOf(%#x) = %d, out of range", k, sh)
+		}
+		if sh != s.ShardOf(k) {
+			t.Fatalf("ShardOf(%#x) unstable", k)
+		}
+		hit[sh] = true
+	}
+	if len(hit) != 8 {
+		t.Errorf("only %d of 8 shards reachable over 4096 sequential keys", len(hit))
+	}
+
+	one := New(Options{NumShards: 1})
+	defer one.Close()
+	for k := uint64(1); k <= 64; k++ {
+		if got := one.ShardOf(k); got != 0 {
+			t.Fatalf("single-shard ShardOf(%#x) = %d, want 0", k, got)
+		}
+	}
+
+	def := New(Options{})
+	defer def.Close()
+	if n := def.NumShards(); n&(n-1) != 0 || n < 1 {
+		t.Errorf("default NumShards %d is not a power of two", n)
+	}
+}
+
+// TestOptionsValidateNumShards pins the power-of-two rule: Validate names
+// it, New panics with it, and valid counts pass.
+func TestOptionsValidateNumShards(t *testing.T) {
+	for _, bad := range []int{-1, 3, 6, 12, 100} {
+		err := (Options{NumShards: bad}).Validate()
+		if err == nil {
+			t.Fatalf("Validate(NumShards=%d) = nil, want error", bad)
+		}
+		if !strings.Contains(err.Error(), "power of two") {
+			t.Errorf("Validate(NumShards=%d) error %q does not state the rule", bad, err)
+		}
+	}
+	for _, ok := range []int{0, 1, 2, 8, 256} {
+		if err := (Options{NumShards: ok}).Validate(); err != nil {
+			t.Errorf("Validate(NumShards=%d) = %v, want nil", ok, err)
+		}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New(NumShards=3) did not panic")
+		}
+		if err, isErr := r.(error); !isErr || !strings.Contains(err.Error(), "power of two") {
+			t.Fatalf("New(NumShards=3) panicked with %v, want the power-of-two error", r)
+		}
+	}()
+	New(Options{NumShards: 3})
+}
+
+// TestFreeEpochShardIsolation is the unit twin of lockstress -bug freechurn:
+// with NumShards=8, a handle parked on a key in one shard takes ZERO cache
+// misses while other shards churn through Free — the exact-counter claim
+// sharding makes — and a Free in the handle's own shard still invalidates.
+func TestFreeEpochShardIsolation(t *testing.T) {
+	s := New(Options{NumShards: 8})
+	defer s.Close()
+
+	hotShard := 0
+	churnShard := 1
+	hot := keysInShard(t, s, hotShard, 1, 1)[0]
+	churn := keysInShard(t, s, churnShard, 64, 1<<20)
+
+	h := s.NewHandle()
+	h.Lock(hot)
+	h.Unlock(hot)
+	base := h.CacheMisses() // the warm-up resolution (exactly 1)
+	if base != 1 {
+		t.Fatalf("warm-up misses = %d, want 1", base)
+	}
+
+	// Churn a different shard hard: create, free, repeat.
+	for round := 0; round < 50; round++ {
+		for _, k := range churn {
+			s.Lock(k)
+			s.Unlock(k)
+			s.Free(k)
+		}
+		h.Lock(hot)
+		h.Unlock(hot)
+	}
+	if got := h.CacheMisses(); got != base {
+		t.Errorf("cross-shard churn caused %d cache misses, want 0 (shard isolation broken)", got-base)
+	}
+
+	// Control: a Free in the hot key's own shard must invalidate.
+	sib := keysInShard(t, s, hotShard, 2, 1<<21)
+	s.Lock(sib[0])
+	s.Unlock(sib[0])
+	s.Free(sib[0])
+	h.Lock(hot)
+	h.Unlock(hot)
+	if got := h.CacheMisses(); got != base+1 {
+		t.Errorf("same-shard Free: misses went %d -> %d, want exactly one new miss", base, got)
+	}
+	_ = sib[1]
+}
+
+// TestShardStats checks the per-shard occupancy report: creates and frees
+// land in the right shard, Locks sums match, and FreeEpoch only advances in
+// the shard that freed.
+func TestShardStats(t *testing.T) {
+	s := New(Options{NumShards: 4})
+	defer s.Close()
+	a := keysInShard(t, s, 0, 3, 1)
+	b := keysInShard(t, s, 3, 2, 1)
+	for _, k := range append(append([]uint64{}, a...), b...) {
+		s.InitLock(k)
+	}
+	s.Free(a[0])
+	st := s.ShardStats()
+	if len(st) != 4 {
+		t.Fatalf("ShardStats returned %d shards, want 4", len(st))
+	}
+	if st[0].Creates != 3 || st[0].Frees != 1 || st[0].Locks != 2 {
+		t.Errorf("shard 0 = %+v, want creates 3, frees 1, locks 2", st[0])
+	}
+	if st[3].Creates != 2 || st[3].Frees != 0 || st[3].Locks != 2 {
+		t.Errorf("shard 3 = %+v, want creates 2, frees 0, locks 2", st[3])
+	}
+	if st[0].FreeEpoch != 1 || st[3].FreeEpoch != 0 {
+		t.Errorf("FreeEpoch = %d/%d, want 1 in shard 0 only", st[0].FreeEpoch, st[3].FreeEpoch)
+	}
+	if s.Locks() != 4 {
+		t.Errorf("Locks() = %d, want 4", s.Locks())
+	}
+}
+
+// TestShardedTelemetryRollup drives a sharded service with a registry and
+// checks the snapshot's shards block end to end: live locks per shard,
+// retired accounting after Free, and the shard column on each lock row.
+func TestShardedTelemetryRollup(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{})
+	s := New(Options{NumShards: 4, Telemetry: reg})
+	defer s.Close()
+
+	a := keysInShard(t, s, 1, 2, 1)
+	b := keysInShard(t, s, 2, 1, 1)[0]
+	for _, k := range a {
+		s.Lock(k)
+		s.Unlock(k)
+	}
+	s.Lock(b)
+	s.Unlock(b)
+
+	snap := reg.Snapshot()
+	if len(snap.Shards) == 0 {
+		t.Fatal("sharded service produced a snapshot with no shards block")
+	}
+	byShard := map[uint32]telemetry.ShardSnapshot{}
+	for _, sh := range snap.Shards {
+		byShard[sh.Shard] = sh
+	}
+	if got := byShard[1]; got.Locks != 2 || got.Acquisitions != 2 {
+		t.Errorf("shard 1 rollup = %+v, want 2 locks, 2 acquisitions", got)
+	}
+	if got := byShard[2]; got.Locks != 1 || got.Acquisitions != 1 {
+		t.Errorf("shard 2 rollup = %+v, want 1 lock, 1 acquisition", got)
+	}
+	for _, l := range snap.Locks {
+		if want := uint32(s.ShardOf(l.Key)); l.Shard != want {
+			t.Errorf("lock %#x snapshot shard %d, want %d", l.Key, l.Shard, want)
+		}
+	}
+
+	// Free one key in shard 1: its acquisitions must stay in the shard's
+	// total via the retired side, keeping the sum monotonic.
+	s.Free(a[0])
+	snap2 := reg.Snapshot()
+	for _, sh := range snap2.Shards {
+		if sh.Shard != 1 {
+			continue
+		}
+		if sh.Locks != 1 || sh.Retired != 1 || sh.Acquisitions != 2 {
+			t.Errorf("after Free, shard 1 = %+v, want 1 live, 1 retired, 2 acquisitions", sh)
+		}
+	}
+
+	// The text report carries the per-shard lines.
+	var buf strings.Builder
+	if err := snap2.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[glstat] shard 1:") {
+		t.Errorf("WriteText missing shard lines:\n%s", buf.String())
+	}
+
+	// An unsharded service's snapshot must NOT grow a shards block.
+	reg2 := telemetry.New(telemetry.Options{})
+	s2 := New(Options{NumShards: 1, Telemetry: reg2})
+	defer s2.Close()
+	s2.Lock(7)
+	s2.Unlock(7)
+	if snap := reg2.Snapshot(); len(snap.Shards) != 0 {
+		t.Errorf("unsharded snapshot has a shards block: %+v", snap.Shards)
+	}
+}
