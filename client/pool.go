@@ -1,0 +1,99 @@
+package client
+
+import (
+	"sync"
+)
+
+// Pool recycles Conns to one glsd server. Get hands out an idle connection
+// or dials a new one; Put returns it for reuse (up to the pool's size —
+// extras are closed). A Conn is a session, so pooled reuse means lock
+// ownership must not straddle a Put: release what you hold before
+// returning the connection, or use With, which scopes a connection to a
+// function call.
+type Pool struct {
+	addr string
+	size int
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool builds a pool of up to size idle connections to addr (size <= 0
+// means 8). No connections are dialed until Get.
+func NewPool(addr string, size int) *Pool {
+	if size <= 0 {
+		size = 8
+	}
+	return &Pool{addr: addr, size: size}
+}
+
+// Get returns an idle connection or dials a fresh one.
+func (p *Pool) Get() (*Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for len(p.idle) > 0 {
+		c := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		p.mu.Unlock()
+		// A pooled connection may have died while idle; probe before
+		// handing it out and fall through to the next (or a fresh dial).
+		if c.Ping() == nil {
+			return c, nil
+		}
+		_ = c.Close()
+		p.mu.Lock()
+	}
+	p.mu.Unlock()
+	return Dial(p.addr)
+}
+
+// Put returns a connection for reuse. Broken or surplus connections are
+// closed instead.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	if c.closed.Load() {
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.size {
+		p.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// With runs fn with a pooled connection, returning it afterwards. If fn
+// reports an error the connection is closed, not recycled — the error may
+// mean the session state is no longer clean.
+func (p *Pool) With(fn func(*Conn) error) error {
+	c, err := p.Get()
+	if err != nil {
+		return err
+	}
+	if err := fn(c); err != nil {
+		_ = c.Close()
+		return err
+	}
+	p.Put(c)
+	return nil
+}
+
+// Close closes every idle connection and refuses further Gets.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+}

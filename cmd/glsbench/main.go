@@ -10,6 +10,7 @@
 //	glsbench -all                   # everything
 //	glsbench -all -quick            # short runs (CI smoke)
 //	glsbench -hotpath FILE          # this tree's own line-bounce family
+//	glsbench -server FILE           # glsd wire-path sweep vs connection count
 //	glsbench -stat                  # glstat telemetry demo (report + diff)
 //
 // Absolute numbers differ from the paper (different machine, Go runtime,
@@ -113,6 +114,8 @@ func main() {
 		"run the glsfair writer-stream/reader-flood fairness sweep and write the JSON report to this file (\"-\" for stdout)")
 	shard := flag.String("shard", "",
 		"run the shard/batch sweep (handle miss rate under Free churn, LockMany vs singles) and write the JSON report to this file (\"-\" for stdout)")
+	srvBench := flag.String("server", "",
+		"run the glsd wire-path sweep (open-loop load vs connection count, parked waiters) and write the JSON report to this file (\"-\" for stdout)")
 	contention := flag.Bool("contention", false,
 		"with -fig 13/14/15: attach a telemetry registry to every lock configuration and print per-role contention after each cell")
 	quick := flag.Bool("quick", false, "short runs for smoke testing")
@@ -139,12 +142,12 @@ func main() {
 		}
 	}
 	reportContention = *contention
-	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality && *rw == "" && *fair == "" && *shard == "" {
-		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -rw FILE | -fair FILE | -shard FILE | -stat | -cardinality  (figures: %s)\n", knownFigures())
+	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality && *rw == "" && *fair == "" && *shard == "" && *srvBench == "" {
+		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -rw FILE | -fair FILE | -shard FILE | -server FILE | -stat | -cardinality  (figures: %s)\n", knownFigures())
 		os.Exit(2)
 	}
 	jsonSinks := 0
-	for _, path := range []string{*hotpath, *rw, *fair, *shard} {
+	for _, path := range []string{*hotpath, *rw, *fair, *shard, *srvBench} {
 		if path == "-" {
 			jsonSinks++
 		}
@@ -153,7 +156,7 @@ func main() {
 		// A "-" sink reserves stdout for one JSON report; the stat and
 		// cardinality text reports (or a second JSON report) would
 		// interleave with it. Run them separately.
-		fmt.Fprintln(os.Stderr, "glsbench: only one of -hotpath -/-rw -/-fair -/-shard - may own stdout, and not combined with -stat/-cardinality")
+		fmt.Fprintln(os.Stderr, "glsbench: only one of -hotpath -/-rw -/-fair -/-shard -/-server - may own stdout, and not combined with -stat/-cardinality")
 		os.Exit(2)
 	}
 
@@ -199,6 +202,15 @@ func main() {
 		fmt.Fprintf(progress, "== shard/batch: handle miss rate under Free churn, LockMany vs singles ==\n")
 		if err := runShard(*shard, progress, o); err != nil {
 			fmt.Fprintf(os.Stderr, "glsbench: -shard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(progress)
+	}
+
+	if *srvBench != "" {
+		fmt.Fprintf(progress, "== glsd: open-loop wire-path sweep vs connection count ==\n")
+		if err := runServer(*srvBench, progress, o); err != nil {
+			fmt.Fprintf(os.Stderr, "glsbench: -server: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(progress)

@@ -59,6 +59,7 @@ var scenarios = map[string]scenario{
 	"readerstarvation": {custom: runReaderStarvation},
 	"holderstall":      {custom: runHolderStall},
 	"abortstorm":       {custom: runAbortStorm},
+	"sessiondrop":      {custom: runSessionDrop},
 	"uninitialized": {kind: gls.IssueUninitializedLock, plant: func(s *gls.Service) {
 		s.Lock(0x6344e0) // never InitLock'ed; StrictInit flags it
 		s.Unlock(0x6344e0)
@@ -746,12 +747,12 @@ var quickMode bool
 
 func main() {
 	bug := flag.String("bug", "all",
-		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, freechurn, slowsubscriber, writerstarvation, readerstarvation, holderstall, abortstorm, all")
+		"scenario: uninitialized, double-lock, unlock-free, wrong-owner, deadlock, oversubscription, churn, freechurn, slowsubscriber, writerstarvation, readerstarvation, holderstall, abortstorm, sessiondrop, all")
 	quick := flag.Bool("quick", false, "reduced iteration counts (CI smoke runs)")
 	flag.Parse()
 	quickMode = *quick
 
-	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "freechurn", "slowsubscriber", "writerstarvation", "readerstarvation", "holderstall", "abortstorm"}
+	names := []string{"uninitialized", "double-lock", "unlock-free", "wrong-owner", "deadlock", "oversubscription", "churn", "freechurn", "slowsubscriber", "writerstarvation", "readerstarvation", "holderstall", "abortstorm", "sessiondrop"}
 	if *bug != "all" {
 		if _, ok := scenarios[*bug]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)

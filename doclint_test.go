@@ -16,6 +16,8 @@ var docLintDirs = []string{
 	".",
 	"glk",
 	"locks",
+	"server",
+	"client",
 	"telemetry",
 	"telemetry/telemetryhttp",
 	"internal/stripe",

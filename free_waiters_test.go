@@ -1,0 +1,137 @@
+package gls
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests pin the Free-with-queued-waiters contract (see the Free doc
+// comment): gls_free hands the key's lifecycle to the caller, and a Free
+// that races a queued LockCtx waiter strands that waiter on the orphaned
+// lock object — every later operation on the key resolves the *new*
+// incarnation, so the old holder's Unlock releases the wrong lock and the
+// orphan's grant never comes. The first test demonstrates the hazard is
+// real (so nobody "fixes" the docs by assuming it away); the second shows
+// the discipline that makes Free safe — quiesce first, free second —
+// which is exactly what glsd's key refcounts enforce at the server layer
+// (see server/fencing.go).
+
+// TestFreeWithQueuedWaiterOrphans demonstrates the documented hazard, step
+// by step:
+//
+//  1. Free of a held key with a queued waiter detaches both from the
+//     table; a fresh Lock mints a new object and acquires immediately,
+//     so two goroutines "hold" the key at once.
+//  2. The old holder's Unlock resolves the key through the table and so
+//     lands on the *new* object — releasing the fresh locker's grant out
+//     from under it (a third locker gets in while the fresh one still
+//     believes it holds).
+//  3. The queued waiter stays parked on the orphaned object forever: the
+//     only unlock that could wake it can no longer be addressed. Its
+//     escape is the locks.Cancel protocol, which works on the orphan
+//     because cancellation never goes through the table.
+//
+// None of this is a regression to fix at this layer — it is why Free's
+// contract requires quiescence, and why glsd refuses to free a key whose
+// refcount (holders + waiters + in-flight attempts) is nonzero.
+func TestFreeWithQueuedWaiterOrphans(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	const key = 0xfeed
+
+	s.Lock(key)
+
+	// Queue a waiter behind the holder on the original lock object.
+	ctx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	waiterDone := make(chan error, 1)
+	var waiterGranted atomic.Bool
+	go func() {
+		err := s.LockCtx(ctx, key)
+		if err == nil {
+			waiterGranted.Store(true)
+		}
+		waiterDone <- err
+	}()
+	// The GLK lock has no external queue probe; give the waiter ample time
+	// to reach the queue, then confirm it is still waiting (the holder has
+	// not released, so a granted waiter would be a mutual-exclusion bug).
+	time.Sleep(100 * time.Millisecond)
+	if waiterGranted.Load() {
+		t.Fatal("waiter granted while the key was held")
+	}
+
+	// The hazardous Free: key still held, waiter still queued.
+	s.Free(key)
+
+	// (1) A fresh locker maps a brand-new object and acquires immediately,
+	// even though the old holder never unlocked.
+	acquired := make(chan struct{})
+	go func() {
+		s.Lock(key)
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fresh Lock after Free did not acquire; the orphaning hazard seems gone — update Free's contract docs before relying on it")
+	}
+
+	// (2) The old holder's unlock addresses the key, not its orphaned
+	// object: it releases the new incarnation, which the fresh locker
+	// still holds. A trylock that should be impossible now succeeds.
+	s.Unlock(key)
+	if !s.TryLock(key) {
+		t.Fatal("stale Unlock did not release the new incarnation; update Free's contract docs")
+	}
+
+	// (3) The orphaned waiter is still parked — no grant arrived with both
+	// unlocks spent — and only cancellation can reclaim it.
+	select {
+	case err := <-waiterDone:
+		t.Fatalf("orphaned waiter resolved unexpectedly (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	cancelWaiter()
+	select {
+	case err := <-waiterDone:
+		if err == nil {
+			t.Fatal("orphaned waiter reported a grant after cancel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not reclaim the orphaned waiter")
+	}
+}
+
+// TestFreeAfterQuiesceIsSafe shows the discipline the contract asks of
+// callers: drain holders and waiters first, Free second, and the key's
+// next incarnation is correctly exclusive. This is the pattern glsd's
+// per-key refcount automates.
+func TestFreeAfterQuiesceIsSafe(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	const key = 0xbeef
+
+	for round := 0; round < 3; round++ {
+		s.Lock(key)
+		granted := make(chan struct{})
+		go func() {
+			s.Lock(key) // queued behind (or arriving after) the holder
+			close(granted)
+		}()
+		s.Unlock(key)
+		<-granted // waiter drained: it is now the holder
+		s.Unlock(key)
+
+		// Quiesced: no holder, no waiters. Free is safe here, and the next
+		// round's Lock re-creates the key and excludes normally.
+		s.Free(key)
+		if !s.TryLock(key) {
+			t.Fatalf("round %d: fresh incarnation not acquirable after quiesced Free", round)
+		}
+		s.Unlock(key)
+		s.Free(key)
+	}
+}

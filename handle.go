@@ -20,6 +20,17 @@ import (
 // paper's Figure 11 measures. Telemetry (and therefore profiling) is not
 // bypassed: those hooks live inside the lock objects themselves, so handle
 // acquisitions are observed like any other.
+//
+// Free interaction: the epoch protocol below makes a Handle exactly as
+// safe against Service.Free as the direct API, no more and no less. A
+// cached pair can never be used after its key's Free has *begun* (the
+// epoch check catches it and re-resolves through the table), so a Handle
+// never resurrects a freed lock object. What the epoch cannot repair is
+// the Free contract itself: freeing a key that is held, queued on, or
+// mid-acquisition splits the key across two lock objects regardless of
+// which accessor touched it — see the quiescence contract on
+// Service.Free. A Handle.Unlock after such a Free releases the new
+// incarnation, exactly like Service.Unlock would.
 type Handle struct {
 	s        *Service
 	lastKey  uint64

@@ -1,0 +1,127 @@
+package server
+
+import "sync"
+
+// Fencing tokens and key lifecycle accounting.
+//
+// Every grant of a key — first or hundredth, any session — mints the key's
+// next fencing token: a per-key monotonic counter that storage-side
+// consumers compare to reject stale holders (a client whose lease expired
+// while it was paused cannot clobber the new holder's writes, because the
+// new holder's token is larger; see client.FencedStore and DESIGN.md §14).
+//
+// The same table carries each key's server-side reference count: one ref
+// per in-flight acquisition attempt plus one per registered grant. The
+// count is what makes it safe for the server to call Service.Free at all —
+// gls.Free of a key with queued waiters silently orphans them onto the old
+// lock object, outside mutual exclusion with the key's next incarnation
+// (see the Free contract in service.go). The server therefore frees only
+// under the key's stripe mutex with the count at zero, and every path that
+// is about to touch the service for a key takes a ref under that same
+// stripe mutex first, so a Free can never interleave with a resolution.
+//
+// Tokens survive a Free: the keyInfo stays in the table with refs == 0, so
+// a key freed and re-created keeps minting strictly increasing tokens.
+// That persistence is the monotonicity guarantee, and it is why the table
+// is the server's, not the service's — the lock object's lifetime is
+// shorter than the token sequence's.
+
+// keyStripes is the stripe count of the key table. Power of two; sized so
+// stripe mutexes are uncontended at benchmark connection counts.
+const keyStripes = 64
+
+// keyInfo is one key's server-side lifecycle record.
+type keyInfo struct {
+	token uint64 // last minted fencing token (0 = never granted)
+	refs  int32  // in-flight acquisitions + registered grants
+}
+
+// keyStripe is one lock-striped partition of the key table.
+type keyStripe struct {
+	mu sync.Mutex
+	m  map[uint64]*keyInfo
+}
+
+// keyTable is the striped key→(token, refs) map.
+type keyTable struct {
+	stripes [keyStripes]keyStripe
+}
+
+func newKeyTable() *keyTable {
+	t := &keyTable{}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[uint64]*keyInfo)
+	}
+	return t
+}
+
+func (t *keyTable) stripe(key uint64) *keyStripe {
+	// The low bits of the key are adversarial (sequential client keys);
+	// fold the high half in so stripes spread. Cheaper than a full mix and
+	// good enough for a mutex-stripe choice.
+	return &t.stripes[(key^key>>32)%keyStripes]
+}
+
+// ref records an acquisition attempt (or grant hand-over) for key.
+func (t *keyTable) ref(key uint64) {
+	s := t.stripe(key)
+	s.mu.Lock()
+	ki := s.m[key]
+	if ki == nil {
+		ki = &keyInfo{}
+		s.m[key] = ki
+	}
+	ki.refs++
+	s.mu.Unlock()
+}
+
+// unref drops one reference. When the count reaches zero it calls free —
+// still holding the stripe mutex, so no new acquisition of key can begin
+// until the free completes. free is nil when the server keeps lock objects
+// mapped forever (Options.KeepIdleLocks).
+func (t *keyTable) unref(key uint64, free func(uint64)) {
+	s := t.stripe(key)
+	s.mu.Lock()
+	ki := s.m[key]
+	if ki == nil || ki.refs <= 0 {
+		s.mu.Unlock()
+		panic("glsd: key refcount underflow")
+	}
+	ki.refs--
+	if ki.refs == 0 && free != nil {
+		// The token stays: ki is retained so the key's next incarnation
+		// continues the sequence.
+		free(key)
+	}
+	s.mu.Unlock()
+}
+
+// mint returns key's next fencing token. Called only while the caller
+// physically holds key's lock, so tokens are handed out in grant order:
+// strictly increasing per key across sessions, expiries and Frees.
+func (t *keyTable) mint(key uint64) uint64 {
+	s := t.stripe(key)
+	s.mu.Lock()
+	ki := s.m[key]
+	if ki == nil {
+		// A grant implies an earlier ref; tolerate direct use in tests.
+		ki = &keyInfo{}
+		s.m[key] = ki
+	}
+	ki.token++
+	tok := ki.token
+	s.mu.Unlock()
+	return tok
+}
+
+// current reports key's last minted token (0 = never granted).
+func (t *keyTable) current(key uint64) uint64 {
+	s := t.stripe(key)
+	s.mu.Lock()
+	var tok uint64
+	if ki := s.m[key]; ki != nil {
+		tok = ki.token
+	}
+	s.mu.Unlock()
+	return tok
+}

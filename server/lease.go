@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Leases. Every grant carries a TTL; the expiry sweeper — one goroutine
+// per server, ticking on the same cadence discipline as the telemetry
+// Sampler (a bounded-minimum interval ticker, see Options.SweepInterval) —
+// releases leases whose holders went quiet. A lease record in the heap is
+// a *hint*, not the truth: the grant registered in the session is
+// authoritative, and the sweeper revalidates (same token, actually past
+// expiry) under the session mutex before releasing, so a renewed lease's
+// stale heap record pops and is discarded for free. Session death clamps
+// every held lease to "now" and kicks the sweeper, so disconnect-release
+// and TTL-release are one code path.
+
+// leaseRecord is one heap entry: "at time at, session sess's grant of key
+// with this token may have expired".
+type leaseRecord struct {
+	at    time.Time
+	sess  *session
+	key   uint64
+	token uint64
+}
+
+// leaseHeap is a min-heap of leaseRecords by expiry time.
+type leaseHeap []leaseRecord
+
+func (h leaseHeap) Len() int            { return len(h) }
+func (h leaseHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h leaseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *leaseHeap) Push(x any)         { *h = append(*h, x.(leaseRecord)) }
+func (h *leaseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	rec := old[n-1]
+	old[n-1] = leaseRecord{}
+	*h = old[:n-1]
+	return rec
+}
+
+// leaseQueue is the sweeper's shared state: the heap plus a kick channel
+// for immediate sweeps (session death, tests).
+//
+// Lock order: leaseQueue.mu is a leaf below session.mu on the push side
+// (grants push while holding session.mu), and the sweeper never holds
+// leaseQueue.mu while taking a session mutex — due records are drained
+// into a local slice first (see Server.sweepDue).
+type leaseQueue struct {
+	mu   sync.Mutex
+	h    leaseHeap
+	kick chan struct{}
+}
+
+func newLeaseQueue() *leaseQueue {
+	return &leaseQueue{kick: make(chan struct{}, 1)}
+}
+
+// push schedules an expiry check.
+func (q *leaseQueue) push(rec leaseRecord) {
+	q.mu.Lock()
+	heap.Push(&q.h, rec)
+	q.mu.Unlock()
+}
+
+// wake nudges the sweeper to run now (idempotent while a nudge is pending).
+func (q *leaseQueue) wake() {
+	select {
+	case q.kick <- struct{}{}:
+	default:
+	}
+}
+
+// due pops every record with at <= now into a fresh slice, leaving later
+// records queued. Runs under q.mu only — the caller validates against
+// session state afterwards, without this mutex held.
+func (q *leaseQueue) due(now time.Time) []leaseRecord {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []leaseRecord
+	for len(q.h) > 0 && !q.h[0].at.After(now) {
+		out = append(out, heap.Pop(&q.h).(leaseRecord))
+	}
+	return out
+}
+
+// size reports queued records (stale hints included), for stats.
+func (q *leaseQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h)
+}

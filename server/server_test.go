@@ -1,0 +1,496 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gls"
+)
+
+// newTestServer starts a server on a loopback port and returns it with its
+// address. Closed via t.Cleanup.
+func newTestServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String()
+}
+
+// tconn is a scripted raw-TCP client for wire-level assertions.
+type tconn struct {
+	t  *testing.T
+	nc net.Conn
+	br *bufio.Reader
+}
+
+func dialT(t *testing.T, addr string) *tconn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	c := &tconn{t: t, nc: nc, br: bufio.NewReader(nc)}
+	t.Cleanup(func() { _ = nc.Close() })
+	return c
+}
+
+// send writes one raw chunk (callers append their own terminators, so
+// pipelined multi-command writes are a single send).
+func (c *tconn) send(raw string) {
+	c.t.Helper()
+	if _, err := c.nc.Write([]byte(raw)); err != nil {
+		c.t.Fatalf("write %q: %v", raw, err)
+	}
+}
+
+// recv reads one response line (5s deadline).
+func (c *tconn) recv() string {
+	c.t.Helper()
+	_ = c.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("read: %v (partial %q)", err, line)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// expect asserts the next line's leading fields.
+func (c *tconn) expect(prefix string) string {
+	c.t.Helper()
+	line := c.recv()
+	if line != prefix && !strings.HasPrefix(line, prefix+" ") {
+		c.t.Fatalf("got %q, want %q...", line, prefix)
+	}
+	return line
+}
+
+// fields splits a response line.
+func fields(line string) []string { return strings.Fields(line) }
+
+// tokenOf extracts the token field of a GRANTED/GRANT/RENEWED line.
+func tokenOf(t *testing.T, line string, idx int) uint64 {
+	t.Helper()
+	f := fields(line)
+	if len(f) <= idx {
+		t.Fatalf("short reply %q", line)
+	}
+	tok, err := strconv.ParseUint(f[idx], 10, 64)
+	if err != nil {
+		t.Fatalf("bad token in %q: %v", line, err)
+	}
+	return tok
+}
+
+func TestWireBasics(t *testing.T) {
+	_, addr := newTestServer(t, Options{})
+	c := dialT(t, addr)
+	c.send("session\r\n")
+	c.expect("SESSION")
+	c.send("ping\n") // bare LF is as good as CRLF
+	c.expect("PONG")
+	c.send("token 7\r\n")
+	c.expect("TOKEN 0x7 0")
+	c.send("stats\r\n")
+	c.expect("STATS")
+	c.send("bogus\r\n")
+	c.expect("ERR command")
+	c.send("quit\r\n")
+	c.expect("BYE")
+}
+
+func TestTryLockUnlock(t *testing.T) {
+	_, addr := newTestServer(t, Options{})
+	a, b := dialT(t, addr), dialT(t, addr)
+
+	a.send("trylock 7\r\n")
+	tok1 := tokenOf(t, a.expect("GRANTED 0x7"), 2)
+	if tok1 != 1 {
+		t.Fatalf("first grant token = %d, want 1", tok1)
+	}
+	// Same session re-acquiring is refused (it would self-deadlock a
+	// worker); another session just loses the race.
+	a.send("trylock 7\r\n")
+	a.expect("ERR held")
+	b.send("trylock 7\r\n")
+	b.expect("BUSY 0x7")
+
+	a.send("unlock 7\r\n")
+	a.expect("RELEASED 0x7")
+	a.send("unlock 7\r\n")
+	a.expect("ERR notheld")
+
+	b.send("trylock 7\r\n")
+	tok2 := tokenOf(t, b.expect("GRANTED 0x7"), 2)
+	if tok2 <= tok1 {
+		t.Fatalf("token did not advance: %d then %d", tok1, tok2)
+	}
+}
+
+func TestWaitGrantAfterUnlock(t *testing.T) {
+	_, addr := newTestServer(t, Options{})
+	a, b := dialT(t, addr), dialT(t, addr)
+
+	a.send("trylock 7\r\n")
+	tokA := tokenOf(t, a.expect("GRANTED 0x7"), 2)
+	b.send("wait 42 7\r\n")
+	b.expect("QUEUED 42")
+	a.send("unlock 7\r\n")
+	a.expect("RELEASED 0x7")
+	line := b.expect("GRANT 42 0x7")
+	if tokB := tokenOf(t, line, 3); tokB <= tokA {
+		t.Fatalf("queued grant token %d not above %d", tokB, tokA)
+	}
+	b.send("unlock 7\r\n")
+	b.expect("RELEASED 0x7")
+}
+
+func TestWaitTimeoutAndCancel(t *testing.T) {
+	_, addr := newTestServer(t, Options{})
+	a, b := dialT(t, addr), dialT(t, addr)
+
+	a.send("trylock 7\r\n")
+	a.expect("GRANTED 0x7")
+
+	b.send("wait 1 7 0 50\r\n")
+	b.expect("QUEUED 1")
+	b.expect("TIMEOUT 1")
+
+	b.send("wait 2 7\r\n")
+	b.expect("QUEUED 2")
+	b.send("cancel 2\r\n")
+	b.expect("OK cancel 2")
+	b.expect("CANCELLED 2")
+
+	// Cancelling an unknown id is still acknowledged (the wait may have
+	// resolved in flight).
+	b.send("cancel 99\r\n")
+	b.expect("OK cancel 99")
+}
+
+func TestWaitValidation(t *testing.T) {
+	_, addr := newTestServer(t, Options{})
+	a, b := dialT(t, addr), dialT(t, addr)
+	a.send("trylock 7\r\n")
+	a.expect("GRANTED 0x7")
+
+	// Waiting on a key the session itself holds is refused.
+	a.send("wait 1 7\r\n")
+	a.expect("ERR held")
+
+	// Duplicate outstanding wait ids are refused.
+	b.send("wait 5 7\r\n")
+	b.expect("QUEUED 5")
+	b.send("wait 5 8\r\n")
+	b.expect("ERR dupid")
+	b.send("cancel 5\r\n")
+	b.expect("OK cancel 5")
+	b.expect("CANCELLED 5")
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	_, addr := newTestServer(t, Options{})
+	c := dialT(t, addr)
+	// One write, many commands: replies come back in order.
+	c.send("ping\r\ntrylock 7\r\ntoken 7\r\nunlock 7\r\nping\r\n")
+	c.expect("PONG")
+	c.expect("GRANTED 0x7 1")
+	c.expect("TOKEN 0x7 1")
+	c.expect("RELEASED 0x7")
+	c.expect("PONG")
+}
+
+func TestOversizedLineClosesConn(t *testing.T) {
+	_, addr := newTestServer(t, Options{MaxLineBytes: 128})
+	c := dialT(t, addr)
+	c.send("trylock " + strings.Repeat("7", 200) + "\r\n")
+	c.expect("ERR toolong")
+	// The stream can no longer be framed; the server hangs up.
+	_ = c.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.br.ReadString('\n'); err == nil {
+		t.Fatal("connection stayed open after oversized line")
+	}
+}
+
+func TestSessionDeathReleasesLocks(t *testing.T) {
+	srv, addr := newTestServer(t, Options{SweepInterval: 10 * time.Millisecond})
+	a := dialT(t, addr)
+	a.send("trylock 7 60000\r\n") // long lease: release must come from death, not TTL
+	tokA := tokenOf(t, a.expect("GRANTED 0x7"), 2)
+	_ = a.nc.Close() // abrupt death, no unlock
+
+	// The teardown clamps the lease and kicks the sweeper; the key frees.
+	b := dialT(t, addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.send("trylock 7\r\n")
+		line := b.recv()
+		if strings.HasPrefix(line, "GRANTED") {
+			if tokB := tokenOf(t, line, 2); tokB <= tokA {
+				t.Fatalf("post-death token %d not above %d", tokB, tokA)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lock not released after session death (last: %q)", line)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.Disconnects == 0 || st.Expiries == 0 {
+		t.Fatalf("death release not accounted: %+v", st)
+	}
+}
+
+func TestLeaseExpiryNotifiesAndFrees(t *testing.T) {
+	_, addr := newTestServer(t, Options{SweepInterval: 10 * time.Millisecond})
+	a, b := dialT(t, addr), dialT(t, addr)
+
+	a.send("trylock 7 30\r\n")
+	tokA := tokenOf(t, a.expect("GRANTED 0x7"), 2)
+	// The sweeper reaps the lease and tells the (still-connected) holder.
+	line := a.expect("EXPIRED 0x7")
+	if tok := tokenOf(t, line, 2); tok != tokA {
+		t.Fatalf("EXPIRED names token %d, want %d", tok, tokA)
+	}
+	// The lock is gone server-side: unlock reports notheld, and another
+	// session acquires with a larger token.
+	a.send("unlock 7\r\n")
+	a.expect("ERR notheld")
+	b.send("trylock 7\r\n")
+	if tokB := tokenOf(t, b.expect("GRANTED 0x7"), 2); tokB <= tokA {
+		t.Fatalf("post-expiry token %d not above %d", tokB, tokA)
+	}
+}
+
+func TestRenewExtendsAndExpiryIsAuthoritative(t *testing.T) {
+	// A glacial sweeper: expiry enforcement below comes from the renew
+	// path's own clock check, not the background reaper.
+	_, addr := newTestServer(t, Options{SweepInterval: time.Hour})
+	c := dialT(t, addr)
+
+	c.send("trylock 7 80\r\n")
+	tok := tokenOf(t, c.expect("GRANTED 0x7"), 2)
+	// Renewing within the lease keeps the token and resets the clock.
+	for i := 0; i < 3; i++ {
+		time.Sleep(40 * time.Millisecond)
+		c.send("renew 7 80\r\n")
+		if rtok := tokenOf(t, c.expect("RENEWED 0x7"), 2); rtok != tok {
+			t.Fatalf("renew changed token: %d → %d", tok, rtok)
+		}
+	}
+	// Let the lease lapse; renew must refuse even though the sweeper has
+	// not run, and the refusal releases the lock.
+	time.Sleep(120 * time.Millisecond)
+	c.send("renew 7 80\r\n")
+	c.expect("ERR expired")
+	c.send("trylock 7 80\r\n")
+	if tok2 := tokenOf(t, c.expect("GRANTED 0x7"), 2); tok2 <= tok {
+		t.Fatalf("post-expiry token %d not above %d", tok2, tok)
+	}
+}
+
+func TestBatchOps(t *testing.T) {
+	_, addr := newTestServer(t, Options{})
+	a, b := dialT(t, addr), dialT(t, addr)
+
+	a.send("trylockmany 0 1 2 3\r\n")
+	line := a.expect("GRANTEDMANY")
+	f := fields(line)
+	if len(f) != 2+2*3 {
+		t.Fatalf("GRANTEDMANY shape: %q", line)
+	}
+	// A batch overlapping a held key backs out completely: key 9 stays
+	// free after the refusal.
+	b.send("trylockmany 0 9 2\r\n")
+	b.expect("BUSY many")
+	b.send("trylock 9\r\n")
+	b.expect("GRANTED 0x9")
+	b.send("unlock 9\r\n")
+	b.expect("RELEASED 0x9")
+
+	// Async batch: queues, grants when the overlap releases.
+	b.send("lockmany 8 0 2 4\r\n")
+	b.expect("QUEUED 8")
+	a.send("unlockmany 1 2 3\r\n")
+	a.expect("RELEASEDMANY 3")
+	b.expect("GRANTMANY 8")
+	b.send("unlockmany 2 4 3\r\n") // 3 is not held: skipped, not an error
+	b.expect("RELEASEDMANY 2")
+}
+
+func TestStatsCounters(t *testing.T) {
+	srv, addr := newTestServer(t, Options{})
+	c := dialT(t, addr)
+	c.send("trylock 7\r\nunlock 7\r\n")
+	c.expect("GRANTED 0x7")
+	c.expect("RELEASED 0x7")
+	st := srv.Stats()
+	if st.Grants != 1 || st.Releases != 1 || st.Sessions != 1 || st.Held != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDebugModeRejected(t *testing.T) {
+	if _, err := New(Options{Service: gls.Options{Debug: true}}); err == nil {
+		t.Fatal("New accepted Service.Debug")
+	}
+}
+
+// TestConcurrentSessionsOneKey is the -race soak: many sessions contend
+// one key through a mix of trylock, queued waits and abrupt disconnects,
+// exercising the cross-goroutine hand-offs inside the server (reader →
+// pool worker → sweeper) under the detector. The token log is appended
+// inside each critical section — the glsd lease makes those sections
+// disjoint in real time, so append order is grant order — and must come
+// out strictly increasing across sessions, expiries and drops. (The log
+// itself needs a local mutex: the detector cannot see happens-before
+// edges through loopback TCP, however real they are.)
+func TestConcurrentSessionsOneKey(t *testing.T) {
+	_, addr := newTestServer(t, Options{SweepInterval: 10 * time.Millisecond})
+	const (
+		workers = 8
+		iters   = 30
+		key     = "0xabc"
+	)
+	var counter int
+	var tokens []uint64 // appended inside the critical section: grant order
+	var dropped int
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c := dialT(t, addr)
+				var tok uint64
+				if i%2 == 0 {
+					c.send("wait 1 " + key + " 10000 8000\r\n")
+					c.expect("QUEUED 1")
+					line := c.recv()
+					if strings.HasPrefix(line, "TIMEOUT") {
+						continue
+					}
+					tok = tokenOf(t, line, 3)
+				} else {
+					granted := false
+					for try := 0; try < 4000; try++ {
+						c.send("trylock " + key + " 10000\r\n")
+						line := c.recv()
+						if strings.HasPrefix(line, "GRANTED") {
+							tok = tokenOf(t, line, 2)
+							granted = true
+							break
+						}
+						time.Sleep(time.Millisecond)
+					}
+					if !granted {
+						continue
+					}
+				}
+				// Critical section: the glsd lease keeps these disjoint in
+				// real time, so the append order is the grant order.
+				mu.Lock()
+				counter++
+				tokens = append(tokens, tok)
+				mu.Unlock()
+				if w%3 == 0 && i%5 == 4 {
+					// Abrupt death while holding: the sweeper releases.
+					_ = c.nc.Close()
+					mu.Lock()
+					dropped++
+					mu.Unlock()
+					continue
+				}
+				c.send("unlock " + key + "\r\n")
+				c.expect("RELEASED " + key)
+				_ = c.nc.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if counter != len(tokens) {
+		t.Fatalf("counter %d != grants %d: critical section was not exclusive", counter, len(tokens))
+	}
+	for i := 1; i < len(tokens); i++ {
+		if tokens[i] <= tokens[i-1] {
+			t.Fatalf("token order violated at %d: %d after %d", i, tokens[i], tokens[i-1])
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("soak never exercised the disconnect path")
+	}
+	t.Logf("grants=%d dropped=%d", len(tokens), dropped)
+}
+
+// TestServerCloseDrains checks Close returns with sessions alive, waits
+// queued and locks held — nothing deadlocks, every lock comes home.
+func TestServerCloseDrains(t *testing.T) {
+	srv, addr := newTestServer(t, Options{SweepInterval: 10 * time.Millisecond})
+	a, b := dialT(t, addr), dialT(t, addr)
+	a.send("trylock 7 60000\r\n")
+	a.expect("GRANTED 0x7")
+	b.send("wait 1 7\r\n")
+	b.expect("QUEUED 1")
+
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain")
+	}
+	if st := srv.Stats(); st.Held != 0 || st.Sessions != 0 {
+		t.Fatalf("after Close: %+v", st)
+	}
+}
+
+// TestOverloadRefusal fills the acquisition queue and checks the honest
+// ERR overload (and that the reader survives to serve more requests).
+func TestOverloadRefusal(t *testing.T) {
+	_, addr := newTestServer(t, Options{Workers: 1, QueueDepth: 1, SweepInterval: 10 * time.Millisecond})
+	holder := dialT(t, addr)
+	holder.send("trylock 7 60000\r\n")
+	holder.expect("GRANTED 0x7")
+
+	// One wait occupies the worker, one fills the queue; the rest must be
+	// refused. Keep trying until the refusal is observed (the worker may
+	// drain the queue slot between sends).
+	conns := []*tconn{dialT(t, addr), dialT(t, addr)}
+	for i, c := range conns {
+		c.send(fmt.Sprintf("wait %d 7 0 60000\r\n", i+1))
+		c.expect("QUEUED")
+	}
+	c := dialT(t, addr)
+	got := false
+	for i := 0; i < 50 && !got; i++ {
+		c.send(fmt.Sprintf("wait %d 7 0 60000\r\n", 100+i))
+		line := c.recv()
+		if strings.HasPrefix(line, "ERR overload") {
+			got = true
+		} else if !strings.HasPrefix(line, "QUEUED") {
+			t.Fatalf("unexpected reply %q", line)
+		}
+	}
+	if !got {
+		t.Fatal("queue never reported overload")
+	}
+	c.send("ping\r\n")
+	c.expect("PONG") // the refusal left the connection healthy
+}

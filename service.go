@@ -621,6 +621,29 @@ func (s *Service) initLockWith(a locks.Algorithm, key uint64) {
 // Free removes key's lock object from the service (gls_free). Freeing a
 // held lock is reported in debug mode; the mapping is removed regardless,
 // matching the paper's semantics (the caller owns the key's lifecycle).
+//
+// Lifecycle contract: Free requires the key to be quiescent — no holder,
+// no queued waiters (Lock, LockCtx, TryLockFor), no acquisition in
+// flight. Free of a non-quiescent key does not fail, it silently splits
+// the key in two: operations already inside the old lock object stay
+// there, while every later call resolves a fresh incarnation. Concretely
+// (TestFreeWithQueuedWaiterOrphans pins all three):
+//
+//   - a new Lock acquires the fresh object immediately, concurrent with
+//     the old holder — mutual exclusion is gone;
+//   - the old holder's Unlock resolves the key through the table and so
+//     releases the *new* incarnation out from under its owner;
+//   - a LockCtx waiter queued at the Free is stranded on the orphaned
+//     object — the unlock that would wake it can no longer be addressed —
+//     and only its cancellation path (which never consults the table) can
+//     reclaim the goroutine.
+//
+// Callers that free keys while other goroutines may touch them must
+// impose quiescence externally — e.g. a per-key refcount taken before any
+// service call and a Free only at zero, under a mutex that also excludes
+// new acquisitions (the glsd server's keyTable does exactly this; see
+// package server). Handles add no hazard beyond the above: their caches
+// detect the Free and re-resolve (see Handle).
 func (s *Service) Free(key uint64) {
 	if key == 0 {
 		return
