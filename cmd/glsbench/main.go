@@ -116,6 +116,17 @@ func main() {
 		"run the shard/batch sweep (handle miss rate under Free churn, LockMany vs singles) and write the JSON report to this file (\"-\" for stdout)")
 	srvBench := flag.String("server", "",
 		"run the glsd wire-path sweep (open-loop load vs connection count, parked waiters) and write the JSON report to this file (\"-\" for stdout)")
+	var scenarios scnList
+	flag.Var(&scenarios, "scenario",
+		"run a committed .scn scenario file through the glscn engine and evaluate its assertion lanes (repeatable)")
+	wire := flag.Bool("wire", false,
+		"with -scenario: drive the ops over the glsd wire path (loopback server) instead of the in-process Service")
+	seed := flag.Uint64("seed", 0,
+		"with -scenario: override the scenario file's seed (0 keeps the file's; same seed replays the identical op sequence)")
+	replay := flag.String("replay", "",
+		"with a single -scenario: write the deterministic replay log (every planned op) to this file (\"-\" for stdout)")
+	scnJSON := flag.String("scnjson", "",
+		"with -scenario: write the scenario engine's JSON report to this file (\"-\" for stdout)")
 	contention := flag.Bool("contention", false,
 		"with -fig 13/14/15: attach a telemetry registry to every lock configuration and print per-role contention after each cell")
 	quick := flag.Bool("quick", false, "short runs for smoke testing")
@@ -142,12 +153,16 @@ func main() {
 		}
 	}
 	reportContention = *contention
-	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality && *rw == "" && *fair == "" && *shard == "" && *srvBench == "" {
-		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -rw FILE | -fair FILE | -shard FILE | -server FILE | -stat | -cardinality  (figures: %s)\n", knownFigures())
+	if len(figs) == 0 && *hotpath == "" && !*stat && !*cardinality && *rw == "" && *fair == "" && *shard == "" && *srvBench == "" && len(scenarios) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: glsbench -fig N [-fig M ...] | -all | -hotpath FILE | -rw FILE | -fair FILE | -shard FILE | -server FILE | -scenario FILE [-wire] | -stat | -cardinality  (figures: %s)\n", knownFigures())
+		os.Exit(2)
+	}
+	if len(scenarios) == 0 && (*wire || *seed != 0 || *replay != "" || *scnJSON != "") {
+		fmt.Fprintln(os.Stderr, "glsbench: -wire/-seed/-replay/-scnjson only apply with -scenario")
 		os.Exit(2)
 	}
 	jsonSinks := 0
-	for _, path := range []string{*hotpath, *rw, *fair, *shard, *srvBench} {
+	for _, path := range []string{*hotpath, *rw, *fair, *shard, *srvBench, *scnJSON, *replay} {
 		if path == "-" {
 			jsonSinks++
 		}
@@ -211,6 +226,15 @@ func main() {
 		fmt.Fprintf(progress, "== glsd: open-loop wire-path sweep vs connection count ==\n")
 		if err := runServer(*srvBench, progress, o); err != nil {
 			fmt.Fprintf(os.Stderr, "glsbench: -server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(progress)
+	}
+
+	if len(scenarios) > 0 {
+		fmt.Fprintf(progress, "== glscn: trace-driven scenario engine, assertion lanes ==\n")
+		if err := runScenarios(scenarios, *wire, *seed, *replay, *scnJSON, progress, o); err != nil {
+			fmt.Fprintf(os.Stderr, "glsbench: -scenario: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(progress)

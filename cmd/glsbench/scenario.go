@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/scenario"
+	"gls/internal/sysmon"
+	"gls/server"
+	"gls/telemetry"
+)
+
+// The -scenario family is glscn, the trace-driven regression surface
+// (DESIGN.md §15): each committed .scn file is expanded into a
+// deterministic op plan (same -seed ⇒ byte-identical replay log) and
+// executed open-loop against the in-process Service or, with -wire, a
+// fresh glsd on loopback — then every phase's declared assertion lanes
+// (tail latency, timeout counts, fairness counters, adaptation arcs) are
+// evaluated. The exit code says whether the lanes held; BENCH_scenario.json
+// is the committed full-mode run of the golden corpus.
+
+// scnQuickDiv and scnQuickFloor are the -quick transform: durations are
+// divided by scnQuickDiv and floored at scnQuickFloor, so CI smoke still
+// spans a few pacing intervals and at least one sysmon round per phase.
+const (
+	scnQuickDiv   = 4
+	scnQuickFloor = 60 * time.Millisecond
+)
+
+// scnList collects repeated -scenario flags in order.
+type scnList []string
+
+func (l *scnList) String() string { return strings.Join(*l, ",") }
+
+// Set appends one scenario file path.
+func (l *scnList) Set(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty scenario path")
+	}
+	*l = append(*l, s)
+	return nil
+}
+
+// scenarioReport is the BENCH_scenario.json schema: one engine report per
+// scenario file, in run order.
+type scenarioReport struct {
+	GeneratedBy string             `json:"generated_by"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Quick       bool               `json:"quick,omitempty"`
+	Runs        []*scenario.Report `json:"runs"`
+}
+
+// runScenarios executes each scenario file and writes the optional
+// artifacts: the replay log (single scenario only) and the JSON report.
+// It returns an error if any declared lane failed.
+func runScenarios(files []string, wire bool, seed uint64, replayPath, jsonPath string, progress io.Writer, o opts) error {
+	if replayPath != "" && len(files) != 1 {
+		return fmt.Errorf("-replay records one scenario's plan; got %d -scenario flags", len(files))
+	}
+	report := scenarioReport{
+		GeneratedBy: "glsbench -scenario",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Quick:       o.quick,
+	}
+	var failures []string
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		scn, err := scenario.ParseScenario(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if o.quick {
+			scn = scn.Scaled(scnQuickDiv, scnQuickFloor)
+		}
+		plan := scenario.BuildPlan(scn, seed)
+		if replayPath != "" {
+			if err := writeReplay(plan, replayPath); err != nil {
+				return fmt.Errorf("%s: replay log: %w", path, err)
+			}
+		}
+		mode := "service"
+		if wire {
+			mode = "wire"
+		}
+		fmt.Fprintf(progress, "-- scenario %s (%s, seed %d, %d phases) --\n", scn.Name, mode, plan.Seed, len(scn.Phases))
+		rep, err := runOneScenario(scn, plan, wire, progress)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		report.Runs = append(report.Runs, rep)
+		for _, f := range rep.Failures() {
+			failures = append(failures, scn.Name+": "+f)
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d assertion lane(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// runOneScenario builds the rig — registry, monitor, service or loopback
+// glsd — runs the plan, and tears the rig down.
+func runOneScenario(scn *scenario.Scenario, plan *scenario.Plan, wire bool, progress io.Writer) (*scenario.Report, error) {
+	// Sample period 1: the fairness and histogram lanes assert exact-ish
+	// interval counts, so the registry times every acquisition.
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	// A private probe-less monitor: only `mphint` directives move the
+	// multiprogramming flag, never the bench host's own scheduling noise.
+	mon := sysmon.New(sysmon.Options{DisableProbes: true})
+	mon.Start()
+	defer mon.Stop()
+	cfg := &glk.Config{
+		SamplePeriod: scn.GLKSample,
+		AdaptPeriod:  scn.GLKAdapt,
+		Monitor:      mon,
+	}
+	svcOpts := gls.Options{
+		SizeHint:  int(scn.Keys),
+		GLK:       cfg,
+		Telemetry: reg,
+	}
+
+	var drv scenario.Driver
+	if wire {
+		srv, err := server.New(server.Options{Service: svcOpts})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		ln, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = srv.Serve(ln) }()
+		drv = scenario.NewWireDriver(ln.Addr().String())
+	} else {
+		drv = &scenario.ServiceDriver{Svc: gls.New(svcOpts)}
+	}
+	defer drv.Close()
+
+	return scenario.Run(plan, drv, scenario.Options{
+		Registry: reg,
+		Monitor:  mon,
+		Progress: progress,
+	})
+}
+
+// writeReplay writes the plan's replay log to path ("-" for stdout).
+func writeReplay(plan *scenario.Plan, path string) error {
+	if path == "-" {
+		return plan.WriteReplay(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := plan.WriteReplay(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

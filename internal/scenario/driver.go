@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"context"
+	"time"
+
+	"gls"
+	"gls/client"
+)
+
+// A Driver is the lock service a scenario runs against. The engine is
+// driver-agnostic: the same plan executes in-process (ServiceDriver) or
+// over the glsd wire path (WireDriver), so a scenario's lanes can be
+// asserted on both sides of the network boundary.
+type Driver interface {
+	// Name labels the driver in reports ("service" or "wire").
+	Name() string
+	// Worker returns worker i's connection. Workers call their own
+	// connection concurrently; a connection is only used by its worker.
+	Worker(i int) (WorkerConn, error)
+	// Hold acquires key on a control channel (for `block KEY` phases)
+	// and returns the release function.
+	Hold(key uint64) (release func() error, err error)
+	// Close releases driver resources.
+	Close() error
+}
+
+// A WorkerConn issues one worker's acquisitions.
+type WorkerConn interface {
+	// Acquire locks key, waiting at most timeout (0 blocks until
+	// granted). It returns (true, nil) on grant, (false, nil) on
+	// deadline, and an error only for driver failures — which fail the
+	// scenario.
+	Acquire(key uint64, timeout time.Duration) (bool, error)
+	// Release unlocks a granted key.
+	Release(key uint64) error
+}
+
+// ServiceDriver runs scenarios against an in-process gls.Service.
+type ServiceDriver struct {
+	// Svc is the target service.
+	Svc *gls.Service
+}
+
+// Name implements Driver.
+func (d *ServiceDriver) Name() string { return "service" }
+
+// Worker implements Driver; every worker shares the service.
+func (d *ServiceDriver) Worker(int) (WorkerConn, error) {
+	return serviceConn{d.Svc}, nil
+}
+
+// Hold implements Driver by taking the key on the shared service.
+func (d *ServiceDriver) Hold(key uint64) (func() error, error) {
+	d.Svc.Lock(key)
+	return func() error { d.Svc.Unlock(key); return nil }, nil
+}
+
+// Close implements Driver; the caller owns the service.
+func (d *ServiceDriver) Close() error { return nil }
+
+// serviceConn adapts gls.Service to WorkerConn.
+type serviceConn struct{ svc *gls.Service }
+
+// Acquire implements WorkerConn. Bounded waits go through TryLockFor,
+// the same deadline surface glsx exposes.
+func (c serviceConn) Acquire(key uint64, timeout time.Duration) (bool, error) {
+	if timeout <= 0 {
+		c.svc.Lock(key)
+		return true, nil
+	}
+	return c.svc.TryLockFor(key, timeout), nil
+}
+
+// Release implements WorkerConn.
+func (c serviceConn) Release(key uint64) error {
+	c.svc.Unlock(key)
+	return nil
+}
+
+// WireDriver runs scenarios over the glsd text protocol: one client
+// connection per worker plus a control connection for blocker holds, all
+// dialed against addr (normally the §14 loopback rig).
+type WireDriver struct {
+	addr    string
+	conns   []*client.Conn
+	control *client.Conn
+}
+
+// NewWireDriver returns a driver dialing addr lazily per worker.
+func NewWireDriver(addr string) *WireDriver {
+	return &WireDriver{addr: addr}
+}
+
+// Name implements Driver.
+func (d *WireDriver) Name() string { return "wire" }
+
+// Worker implements Driver, dialing one session per worker.
+func (d *WireDriver) Worker(i int) (WorkerConn, error) {
+	for len(d.conns) <= i {
+		d.conns = append(d.conns, nil)
+	}
+	if d.conns[i] == nil {
+		c, err := client.Dial(d.addr)
+		if err != nil {
+			return nil, err
+		}
+		d.conns[i] = c
+	}
+	return wireConn{d.conns[i]}, nil
+}
+
+// Hold implements Driver on a dedicated control session, so a worker's
+// in-flight wait can never interleave with the blocker's release on the
+// same demux connection.
+func (d *WireDriver) Hold(key uint64) (func() error, error) {
+	if d.control == nil {
+		c, err := client.Dial(d.addr)
+		if err != nil {
+			return nil, err
+		}
+		d.control = c
+	}
+	if _, err := d.control.TryLock(key, time.Minute); err != nil {
+		return nil, err
+	}
+	return func() error { return d.control.Unlock(key) }, nil
+}
+
+// Close implements Driver, closing every session.
+func (d *WireDriver) Close() error {
+	var first error
+	for _, c := range d.conns {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if d.control != nil {
+		if err := d.control.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// wireConn adapts client.Conn to WorkerConn.
+type wireConn struct{ c *client.Conn }
+
+// Acquire implements WorkerConn. The wire protocol carries timeouts in
+// whole milliseconds, so sub-millisecond deadlines round up to 1ms (a
+// 0ms wire timeout would mean "server default"); timeout 0 blocks under
+// the server's default wait bound.
+func (c wireConn) Acquire(key uint64, timeout time.Duration) (bool, error) {
+	if timeout > 0 && timeout < time.Millisecond {
+		timeout = time.Millisecond
+	}
+	_, err := c.c.Lock(context.Background(), key, 0, timeout)
+	if err == client.ErrTimeout {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Release implements WorkerConn.
+func (c wireConn) Release(key uint64) error {
+	return c.c.Unlock(key)
+}

@@ -1,0 +1,148 @@
+// Golden-scenario regression suite (DESIGN.md §15). Every committed
+// .scn under testdata/scenarios is parsed, quick-scaled, and executed
+// in-process; a subset re-runs over a loopback glsd so the wire path is
+// held to the same lanes. A lane failure here means a tail-latency or
+// fairness regression the scenario corpus was written to catch — fix
+// the regression, don't loosen the lane.
+//
+// The quick transform (durations ÷4, floored at 60ms) matches
+// `glsbench -scenario -quick`, so CI and this suite exercise identical
+// plans for a given seed.
+package gls_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gls"
+	"gls/glk"
+	"gls/internal/scenario"
+	"gls/internal/sysmon"
+	"gls/server"
+	"gls/telemetry"
+)
+
+const (
+	goldenDir        = "testdata/scenarios"
+	goldenQuickDiv   = 4
+	goldenQuickFloor = 60 * time.Millisecond
+)
+
+// goldenScenarios loads and quick-scales every committed scenario.
+func goldenScenarios(t *testing.T) map[string]*scenario.Scenario {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(goldenDir, "*.scn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("golden corpus has %d scenarios, want >= 4: %v", len(paths), paths)
+	}
+	sort.Strings(paths)
+	out := make(map[string]*scenario.Scenario, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := scenario.ParseScenario(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		out[strings.TrimSuffix(filepath.Base(p), ".scn")] = s.Scaled(goldenQuickDiv, goldenQuickFloor)
+	}
+	return out
+}
+
+// runGolden builds the same rig as `glsbench -scenario`: a
+// sample-everything registry, a probe-less monitor so only mphint
+// directives flip the multiprogramming flag, and either the in-process
+// service or a loopback glsd.
+func runGolden(t *testing.T, s *scenario.Scenario, wire bool) *scenario.Report {
+	t.Helper()
+	reg := telemetry.New(telemetry.Options{SamplePeriod: 1})
+	mon := sysmon.New(sysmon.Options{DisableProbes: true})
+	mon.Start()
+	defer mon.Stop()
+	svcOpts := gls.Options{
+		SizeHint: int(s.Keys),
+		GLK: &glk.Config{
+			SamplePeriod: s.GLKSample,
+			AdaptPeriod:  s.GLKAdapt,
+			Monitor:      mon,
+		},
+		Telemetry: reg,
+	}
+
+	var drv scenario.Driver
+	if wire {
+		srv, err := server.New(server.Options{Service: svcOpts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ln, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		drv = scenario.NewWireDriver(ln.Addr().String())
+	} else {
+		drv = &scenario.ServiceDriver{Svc: gls.New(svcOpts)}
+	}
+	defer drv.Close()
+
+	rep, err := scenario.Run(scenario.BuildPlan(s, 0), drv, scenario.Options{
+		Registry: reg,
+		Monitor:  mon,
+		Progress: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestGoldenScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenarios run real-time phases; skipped in -short")
+	}
+	for name, s := range goldenScenarios(t) {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			rep := runGolden(t, s, false)
+			if !rep.Pass {
+				t.Fatalf("lanes failed:\n  %s", strings.Join(rep.Failures(), "\n  "))
+			}
+		})
+	}
+}
+
+// TestGoldenScenariosWire re-runs the deterministic-count scenarios over
+// a loopback glsd. The latency-lane scenarios (diurnal, tenantskew) stay
+// in-process here: on a 1-CPU host the server pool's spin-waiters can
+// starve the holder and blow the tail bounds; `glsbench -scenario -wire`
+// covers them where CI grants more cores.
+func TestGoldenScenariosWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden scenarios run real-time phases; skipped in -short")
+	}
+	all := goldenScenarios(t)
+	for _, name := range []string{"flashcrowd", "blocker"} {
+		s, ok := all[name]
+		if !ok {
+			t.Fatalf("golden corpus lost %s.scn", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			rep := runGolden(t, s, true)
+			if !rep.Pass {
+				t.Fatalf("lanes failed:\n  %s", strings.Join(rep.Failures(), "\n  "))
+			}
+		})
+	}
+}

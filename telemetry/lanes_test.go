@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExtractLanesSums(t *testing.T) {
+	s := &Snapshot{
+		Locks: []LockSnapshot{
+			{
+				Key: 1, Arrivals: 100, Acquisitions: 90, Contended: 30,
+				TryFails: 10, Timeouts: 6, Cancels: 2,
+				IsRW: true, RAcquisitions: 40, RStarved: 3, RWaitPhases: 11,
+				WaitHist: []uint64{0, 5, 10},
+				Transitions: []Transition{
+					{From: "ticket", To: "mcs", Count: 2},
+					{From: "mcs", To: "mutex", Count: 1},
+				},
+			},
+			{
+				Key: 2, Acquisitions: 10, Contended: 1, TryFails: 1, Timeouts: 1,
+				WaitHist: []uint64{0, 0, 0, 7},
+				Transitions: []Transition{
+					{From: "ticket", To: "mcs", Count: 5},
+				},
+			},
+		},
+		Retired: RetiredSnapshot{
+			Acquisitions: 50, Contended: 5, TryFails: 4, Timeouts: 3, Cancels: 1,
+			RAcquisitions: 20, RStarved: 1, RWaitPhases: 2,
+			WaitHist: []uint64{1},
+		},
+	}
+	ls := ExtractLanes(s)
+	if ls.Acquisitions != 150 || ls.Contended != 36 || ls.TryFails != 15 {
+		t.Fatalf("exclusive sums wrong: %+v", ls)
+	}
+	if ls.Timeouts != 10 || ls.Cancels != 3 {
+		t.Fatalf("abort sums wrong: %+v", ls)
+	}
+	if ls.RAcquisitions != 60 || ls.RStarved != 4 || ls.RWaitPhases != 13 {
+		t.Fatalf("read-side sums wrong: %+v", ls)
+	}
+	// Same-edge transitions merge; distinct edges stay distinct.
+	if len(ls.Transitions) != 2 {
+		t.Fatalf("want 2 merged edges, got %+v", ls.Transitions)
+	}
+	if got := ls.TransitionCount("ticket", "mcs"); got != 7 {
+		t.Fatalf("ticket→mcs count %d, want 7", got)
+	}
+	if got := ls.TransitionCount("mcs", "mutex"); got != 1 {
+		t.Fatalf("mcs→mutex count %d, want 1", got)
+	}
+	// Histograms merge element-wise across live and retired.
+	want := []uint64{1, 5, 10, 7}
+	if len(ls.WaitHist) != len(want) {
+		t.Fatalf("merged hist %v, want %v", ls.WaitHist, want)
+	}
+	for i := range want {
+		if ls.WaitHist[i] != want[i] {
+			t.Fatalf("merged hist %v, want %v", ls.WaitHist, want)
+		}
+	}
+}
+
+func TestLaneSetTransitionWildcards(t *testing.T) {
+	ls := LaneSet{Transitions: []Transition{
+		{From: "ticket", To: "mcs", Count: 2},
+		{From: "ticket", To: "mutex", Count: 3},
+		{From: "striped", To: "phasefair", Count: 5},
+	}}
+	cases := []struct {
+		from, to string
+		want     uint64
+	}{
+		{"ticket", "mcs", 2},
+		{"ticket", "*", 5},
+		{"*", "mutex", 3},
+		{"*", "*", 10},
+		{"mutex", "ticket", 0},
+	}
+	for _, tc := range cases {
+		if got := ls.TransitionCount(tc.from, tc.to); got != tc.want {
+			t.Fatalf("TransitionCount(%q, %q) = %d, want %d", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestLaneSetWaitPercentile(t *testing.T) {
+	var empty LaneSet
+	if got := empty.WaitPercentile(99); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	// Bucket i spans [2^(i-1), 2^i) ns; all mass in bucket 4 → every
+	// percentile lands in [8ns, 16ns).
+	ls := LaneSet{WaitHist: []uint64{0, 0, 0, 0, 100}}
+	p50, p99 := ls.WaitPercentile(50), ls.WaitPercentile(99)
+	if p50 < 8 || p50 > 16*time.Nanosecond {
+		t.Fatalf("p50 = %v, want within bucket 4", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+}
+
+func TestExtractLanesOnDiff(t *testing.T) {
+	// The engine extracts lanes from interval diffs: counters present in
+	// both snapshots must cancel out.
+	prev := &Snapshot{Locks: []LockSnapshot{{
+		Key: 1, Gen: 1, Arrivals: 100, Acquisitions: 90, TryFails: 10, Timeouts: 8,
+		RWaitPhases: 4, RStarved: 1,
+	}}}
+	cur := &Snapshot{Locks: []LockSnapshot{{
+		Key: 1, Gen: 1, Arrivals: 160, Acquisitions: 145, TryFails: 15, Timeouts: 12,
+		RWaitPhases: 9, RStarved: 1,
+	}}}
+	ls := ExtractLanes(cur.Diff(prev))
+	if ls.Timeouts != 4 || ls.RWaitPhases != 5 || ls.RStarved != 0 {
+		t.Fatalf("interval lanes wrong: %+v", ls)
+	}
+	if ls.Acquisitions != 55 { // 60 arrivals − 5 try-fails, re-derived by Diff
+		t.Fatalf("interval acquisitions %d, want 55", ls.Acquisitions)
+	}
+}
